@@ -1,0 +1,71 @@
+//! Raw throughput of the discrete-event substrate: event scheduling and
+//! delivery, with and without same-instant ties (FIFO tie-breaking is the
+//! determinism-critical path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use p4update_des::{Scheduler, SimDuration, SimTime, Simulation, World};
+use std::hint::black_box;
+
+struct Relay {
+    remaining: u64,
+}
+
+impl World for Relay {
+    type Event = u64;
+    fn handle(&mut self, _now: SimTime, event: u64, sched: &mut Scheduler<u64>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.schedule_in(SimDuration::from_micros(event % 97 + 1), event + 1);
+        }
+    }
+}
+
+struct Sink;
+impl World for Sink {
+    type Event = u64;
+    fn handle(&mut self, _now: SimTime, event: u64, _sched: &mut Scheduler<u64>) {
+        black_box(event);
+    }
+}
+
+fn des_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_engine");
+    const N: u64 = 100_000;
+    group.throughput(Throughput::Elements(N));
+
+    group.bench_function("event_chain", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Relay { remaining: N });
+            sim.schedule_at(SimTime::ZERO, 0);
+            let _ = sim.run();
+            black_box(sim.events_delivered())
+        })
+    });
+
+    group.bench_function("preloaded_queue", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Sink);
+            for i in 0..N {
+                sim.schedule_at(SimTime::from_nanos(i * 13 % 1_000_000), i);
+            }
+            let _ = sim.run();
+            black_box(sim.events_delivered())
+        })
+    });
+
+    group.bench_function("same_instant_ties", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Sink);
+            for i in 0..N {
+                sim.schedule_at(SimTime::ZERO, i);
+            }
+            let _ = sim.run();
+            black_box(sim.events_delivered())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, des_engine);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Fig. 8 as a Criterion bench: control-plane preparation time per system
+//! per topology, with and without congestion freedom.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p4update_baselines::{ez_prepare, ez_prepare_congestion};
+use p4update_bench::bench_workload;
+use p4update_core::{prepare_update, Strategy};
+use p4update_messages::EzPriority;
+use p4update_net::{topologies, Version};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn preparation(c: &mut Criterion) {
+    let topos = [
+        topologies::b4(),
+        topologies::internet2(),
+        topologies::att_mpls(),
+        topologies::chinanet(),
+    ];
+    let mut group = c.benchmark_group("fig8_preparation");
+    group.sample_size(10);
+    for topo in &topos {
+        let updates = bench_workload(topo, 42);
+        let mut capacity = BTreeMap::new();
+        for link in topo.links() {
+            capacity.insert((link.a, link.b), link.capacity);
+            capacity.insert((link.b, link.a), link.capacity);
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("p4update_dl", &topo.name),
+            &updates,
+            |b, updates| {
+                b.iter(|| {
+                    for u in updates {
+                        black_box(prepare_update(u, Version(2), Strategy::ForceDual));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ez_segway", &topo.name),
+            &updates,
+            |b, updates| {
+                b.iter(|| {
+                    for u in updates {
+                        black_box(ez_prepare(u, EzPriority::Low));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ez_segway_congestion", &topo.name),
+            &(&updates, &capacity),
+            |b, (updates, capacity)| {
+                b.iter(|| {
+                    let prios = ez_prepare_congestion(updates, capacity);
+                    for u in updates.iter() {
+                        black_box(ez_prepare(
+                            u,
+                            *prios.get(&u.flow).unwrap_or(&EzPriority::Low),
+                        ));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, preparation);
+criterion_main!(benches);

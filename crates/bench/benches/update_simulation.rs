@@ -1,0 +1,92 @@
+//! Fig. 7-style end-to-end update runs as wall-clock benches: one full
+//! simulated migration per iteration, per system. (The *simulated* times
+//! the figures report come from the `p4update-experiments` binary; this
+//! bench tracks how fast the reproduction itself runs them.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p4update_bench::bench_workload;
+use p4update_core::Strategy;
+use p4update_des::SimTime;
+use p4update_net::{topologies, FlowId, FlowUpdate, Path};
+use p4update_sim::{simulation, Event, NetworkSim, SimConfig, System, TimingConfig};
+use std::hint::black_box;
+
+fn run_once(system: System, updates: &[FlowUpdate]) -> u64 {
+    let topo = topologies::b4();
+    let config = SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), 7);
+    let mut world = NetworkSim::new(topo, system, config, None);
+    for u in updates {
+        if let Some(old) = &u.old_path {
+            world.install_initial_path(u.flow, old, u.size);
+        }
+    }
+    let batch = world.add_batch(updates.to_vec());
+    let mut sim = simulation(world);
+    sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+    let _ = sim.run();
+    sim.events_delivered()
+}
+
+fn single_flow_update() -> Vec<FlowUpdate> {
+    vec![FlowUpdate::new(
+        FlowId(0),
+        Some(Path::new(topologies::fig1_old_path())),
+        Path::new(topologies::fig1_new_path()),
+        1.0,
+    )]
+}
+
+fn update_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_update_simulation");
+    group.sample_size(10);
+    let topo = topologies::b4();
+    let multi = bench_workload(&topo, 7);
+
+    for (label, system) in [
+        ("p4update", System::P4Update(Strategy::Auto)),
+        ("sl_p4update", System::P4Update(Strategy::ForceSingle)),
+        ("dl_p4update", System::P4Update(Strategy::ForceDual)),
+        ("ez_segway", System::EzSegway { congestion: false }),
+        ("central", System::Central { congestion: false }),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("b4_multi_flow", label),
+            &multi,
+            |b, updates| b.iter(|| black_box(run_once(system, updates))),
+        );
+    }
+
+    let single = single_flow_update();
+    for (label, system) in [
+        ("dl_p4update", System::P4Update(Strategy::ForceDual)),
+        ("ez_segway", System::EzSegway { congestion: false }),
+    ] {
+        // The synthetic single-flow scenario runs on the fig1 topology.
+        group.bench_with_input(
+            BenchmarkId::new("fig1_single_flow", label),
+            &single,
+            |b, updates| {
+                b.iter(|| {
+                    let topo = topologies::fig1();
+                    let config =
+                        SimConfig::new(TimingConfig::wan_single_flow(topo.centroid()), 7);
+                    let mut world = NetworkSim::new(topo, system, config, None);
+                    world.install_initial_path(
+                        FlowId(0),
+                        &Path::new(topologies::fig1_old_path()),
+                        1.0,
+                    );
+                    let batch = world.add_batch(updates.clone());
+                    let mut sim = simulation(world);
+                    sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+                    let _ = sim.run();
+                    black_box(sim.events_delivered())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, update_simulation);
+criterion_main!(benches);

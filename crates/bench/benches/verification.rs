@@ -1,0 +1,80 @@
+//! Per-notification verification cost: Algorithm 1 (single layer) and
+//! Algorithm 2 (dual layer, all verdict paths). This is the data-plane
+//! overhead P4Update adds to every UNM — the paper argues it is simple
+//! enough for line-rate execution (§2.2, footnote 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4update_core::{verify_dl, verify_sl};
+use p4update_dataplane::UibEntry;
+use p4update_messages::{Unm, UnmLayer, UpdateKind};
+use p4update_net::{FlowId, Version};
+use std::hint::black_box;
+
+fn entry(kind: UpdateKind) -> UibEntry {
+    UibEntry {
+        uim_version: Version(2),
+        uim_distance: 5,
+        uim_kind: Some(kind),
+        applied_version: Version(1),
+        applied_distance: 4,
+        old_version: Version(1),
+        old_distance: 4,
+        last_update_type: Some(UpdateKind::Single),
+        ..UibEntry::default()
+    }
+}
+
+fn unm(kind: UpdateKind) -> Unm {
+    Unm {
+        flow: FlowId(0),
+        v_new: Version(2),
+        v_old: Version(1),
+        d_new: 4,
+        d_old: 0,
+        counter: 3,
+        kind,
+        layer: UnmLayer::Intra,
+    }
+}
+
+fn verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification");
+
+    let e = entry(UpdateKind::Single);
+    let m = unm(UpdateKind::Single);
+    group.bench_function("alg1_sl_accept", |b| {
+        b.iter(|| black_box(verify_sl(black_box(&e), black_box(&m))))
+    });
+
+    let e = entry(UpdateKind::Dual);
+    let m = unm(UpdateKind::Dual);
+    group.bench_function("alg2_dl_gateway", |b| {
+        b.iter(|| black_box(verify_dl(black_box(&e), black_box(&m))))
+    });
+
+    // Outdated rejection path (cheapest exit).
+    let mut stale = unm(UpdateKind::Single);
+    stale.v_new = Version(1);
+    stale.v_old = Version(0);
+    let e = entry(UpdateKind::Single);
+    group.bench_function("alg1_sl_reject_outdated", |b| {
+        b.iter(|| black_box(verify_sl(black_box(&e), black_box(&stale))))
+    });
+
+    // Pass-along path (already-updated node inheriting old distances).
+    let mut passed = entry(UpdateKind::Dual);
+    passed.applied_version = Version(2);
+    passed.applied_distance = 5;
+    passed.last_update_type = Some(UpdateKind::Dual);
+    passed.old_distance = 2;
+    passed.counter = 5;
+    let m = unm(UpdateKind::Dual);
+    group.bench_function("alg2_dl_pass_along", |b| {
+        b.iter(|| black_box(verify_dl(black_box(&passed), black_box(&m))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, verification);
+criterion_main!(benches);

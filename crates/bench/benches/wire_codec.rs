@@ -1,0 +1,57 @@
+//! Header encode/decode throughput for the P4Update message formats — the
+//! per-packet parsing work the parser/deparser of the P4 pipeline performs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4update_messages::{
+    decode, encode, DataPacket, Message, Uim, Unm, UnmLayer, UpdateKind,
+};
+use p4update_net::{FlowId, NodeId, Version};
+use std::hint::black_box;
+
+fn wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+
+    let unm = Message::Unm(Unm {
+        flow: FlowId(7),
+        v_new: Version(3),
+        v_old: Version(2),
+        d_new: 4,
+        d_old: 1,
+        counter: 9,
+        kind: UpdateKind::Dual,
+        layer: UnmLayer::Inter,
+    });
+    let uim = Message::Uim(Uim {
+        flow: FlowId(7),
+        version: Version(3),
+        new_distance: 4,
+        flow_size: 2.5,
+        next_hop: Some(NodeId(3)),
+        upstream: Some(NodeId(5)),
+        kind: UpdateKind::Dual,
+    });
+    let data = Message::Data(DataPacket {
+        flow: FlowId(7),
+        seq: 123,
+        ttl: 64, tag: None });
+
+    for (name, msg) in [("unm", &unm), ("uim", &uim), ("data", &data)] {
+        group.bench_function(format!("encode_{name}"), |b| {
+            b.iter(|| black_box(encode(black_box(msg)).expect("encodable")))
+        });
+        let wire = encode(msg).expect("encodable");
+        group.bench_function(format!("decode_{name}"), |b| {
+            b.iter(|| black_box(decode(black_box(wire.clone())).expect("decodable")))
+        });
+        group.bench_function(format!("roundtrip_{name}"), |b| {
+            b.iter(|| {
+                let wire = encode(black_box(msg)).expect("encodable");
+                black_box(decode(wire).expect("decodable"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, wire_codec);
+criterion_main!(benches);

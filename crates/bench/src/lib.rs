@@ -1,0 +1,28 @@
+//! # p4update-bench
+//!
+//! Criterion benchmarks regenerating the evaluation's performance
+//! artifacts. Each bench target maps to a paper artifact:
+//!
+//! | bench | artifact |
+//! |---|---|
+//! | `preparation` | Fig. 8a/8b — control-plane preparation time per system |
+//! | `verification` | per-UNM cost of Algorithms 1 and 2 (data-plane overhead ablation) |
+//! | `wire_codec` | header encode/decode throughput (message-processing substrate) |
+//! | `update_simulation` | Fig. 7-style full update runs per system (wall-clock of the DES) |
+//! | `des_engine` | raw event-loop throughput of the simulation substrate |
+//!
+//! Shared workload builders live here so the benches measure identical
+//! inputs.
+
+#![forbid(unsafe_code)]
+
+use p4update_des::SimRng;
+use p4update_net::{FlowUpdate, Topology};
+use p4update_traffic::multi_flow;
+
+/// The standard multi-flow workload used across benches (B4 at the
+/// evaluation's near-capacity load).
+pub fn bench_workload(topo: &Topology, seed: u64) -> Vec<FlowUpdate> {
+    let mut rng = SimRng::new(seed);
+    multi_flow(topo, &mut rng, 0.55).updates
+}

@@ -1,0 +1,249 @@
+//! The local, dynamic congestion scheduler (§7.4, §A.2).
+//!
+//! Congestion freedom has inter-flow dependencies: moving flow `f` onto
+//! link `e` needs capacity that might only appear once some flow `g` moves
+//! *off* `e`. Prior systems resolve this with a centrally computed
+//! dependency graph; P4Update resolves it locally and dynamically:
+//!
+//! - a flow blocked from moving onto `e` parks at `e`'s wait queue, and all
+//!   flows currently on `e` that want to move away are raised to high
+//!   priority;
+//! - a low-priority flow may move onto `e` (given capacity) only when no
+//!   high-priority flow is waiting for `e`;
+//! - high-priority flows move immediately when capacity suffices;
+//! - whenever capacity on `e` is released, parked flows are retried, high
+//!   priority first (FIFO within a class).
+//!
+//! The scheduler is a per-switch data structure; priorities live in the UIB
+//! (`flow_priority` register) and are read through a callback so tests can
+//! drive it without a full switch.
+
+use p4update_dataplane::FlowPriority;
+use p4update_net::{FlowId, NodeId};
+use std::collections::BTreeMap;
+
+/// Why a move was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// The link lacks remaining capacity for the flow's size.
+    NoCapacity,
+    /// Capacity suffices but a high-priority flow is waiting for the link
+    /// and this flow is low priority.
+    YieldToHighPriority,
+}
+
+/// Admission decision for a flow wanting to move onto a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Reserve and go.
+    Go,
+    /// Park at the link's wait queue.
+    Blocked(BlockReason),
+}
+
+/// Per-switch wait queues: flows parked per outgoing link.
+#[derive(Debug, Clone, Default)]
+pub struct CongestionScheduler {
+    waiting: BTreeMap<NodeId, Vec<FlowId>>,
+}
+
+impl CongestionScheduler {
+    /// Empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decide whether `flow` (with `size` and `priority`) may move onto the
+    /// link toward `to`, given `remaining` capacity there.
+    pub fn admit(
+        &self,
+        flow: FlowId,
+        to: NodeId,
+        size: f64,
+        remaining: f64,
+        priority: FlowPriority,
+        priority_of: impl Fn(FlowId) -> FlowPriority,
+    ) -> Admission {
+        if remaining + 1e-9 < size {
+            return Admission::Blocked(BlockReason::NoCapacity);
+        }
+        if priority == FlowPriority::High {
+            return Admission::Go;
+        }
+        let high_waiting = self
+            .waiting
+            .get(&to)
+            .into_iter()
+            .flatten()
+            .any(|&f| f != flow && priority_of(f) == FlowPriority::High);
+        if high_waiting {
+            Admission::Blocked(BlockReason::YieldToHighPriority)
+        } else {
+            Admission::Go
+        }
+    }
+
+    /// Park `flow` in the wait queue of the link toward `to` (idempotent).
+    pub fn park(&mut self, to: NodeId, flow: FlowId) {
+        let q = self.waiting.entry(to).or_default();
+        if !q.contains(&flow) {
+            q.push(flow);
+        }
+    }
+
+    /// Remove and return the parked flows for `to`, high-priority first,
+    /// FIFO within each class. Callers retry each and re-park the still
+    /// blocked ones.
+    pub fn drain(
+        &mut self,
+        to: NodeId,
+        priority_of: impl Fn(FlowId) -> FlowPriority,
+    ) -> Vec<FlowId> {
+        let Some(q) = self.waiting.remove(&to) else {
+            return Vec::new();
+        };
+        let (mut high, low): (Vec<FlowId>, Vec<FlowId>) = q
+            .into_iter()
+            .partition(|&f| priority_of(f) == FlowPriority::High);
+        high.extend(low);
+        high
+    }
+
+    /// Flows currently parked for `to`.
+    pub fn parked(&self, to: NodeId) -> &[FlowId] {
+        self.waiting.get(&to).map_or(&[], |q| q.as_slice())
+    }
+
+    /// Total parked flows across all links.
+    pub fn total_parked(&self) -> usize {
+        self.waiting.values().map(Vec::len).sum()
+    }
+
+    /// Links that have at least one waiter.
+    pub fn contended_links(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.waiting
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&n, _)| n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lows(_: FlowId) -> FlowPriority {
+        FlowPriority::Low
+    }
+
+    #[test]
+    fn capacity_shortfall_blocks() {
+        let s = CongestionScheduler::new();
+        assert_eq!(
+            s.admit(FlowId(1), NodeId(0), 5.0, 4.0, FlowPriority::Low, lows),
+            Admission::Blocked(BlockReason::NoCapacity)
+        );
+        assert_eq!(
+            s.admit(FlowId(1), NodeId(0), 5.0, 5.0, FlowPriority::Low, lows),
+            Admission::Go
+        );
+    }
+
+    #[test]
+    fn low_priority_yields_to_waiting_high() {
+        let mut s = CongestionScheduler::new();
+        s.park(NodeId(0), FlowId(9));
+        let prio = |f: FlowId| {
+            if f == FlowId(9) {
+                FlowPriority::High
+            } else {
+                FlowPriority::Low
+            }
+        };
+        assert_eq!(
+            s.admit(FlowId(1), NodeId(0), 1.0, 10.0, FlowPriority::Low, prio),
+            Admission::Blocked(BlockReason::YieldToHighPriority)
+        );
+        // The high flow itself goes.
+        assert_eq!(
+            s.admit(FlowId(9), NodeId(0), 1.0, 10.0, FlowPriority::High, prio),
+            Admission::Go
+        );
+        // A different link is unaffected.
+        assert_eq!(
+            s.admit(FlowId(1), NodeId(2), 1.0, 10.0, FlowPriority::Low, prio),
+            Admission::Go
+        );
+    }
+
+    #[test]
+    fn high_priority_moves_immediately() {
+        let mut s = CongestionScheduler::new();
+        s.park(NodeId(0), FlowId(9));
+        // Even with another high flow waiting, a high flow with capacity
+        // goes (§7.4: "high priority flows can move immediately with
+        // sufficient capacity").
+        let prio = |_: FlowId| FlowPriority::High;
+        assert_eq!(
+            s.admit(FlowId(1), NodeId(0), 1.0, 10.0, FlowPriority::High, prio),
+            Admission::Go
+        );
+    }
+
+    #[test]
+    fn own_waiting_entry_does_not_self_block() {
+        let mut s = CongestionScheduler::new();
+        s.park(NodeId(0), FlowId(1));
+        let prio = |f: FlowId| {
+            if f == FlowId(1) {
+                FlowPriority::High
+            } else {
+                FlowPriority::Low
+            }
+        };
+        // FlowId(1) is the only (high) waiter: a retry of FlowId(1) itself
+        // as low would... it is high here, but the self-exclusion also
+        // covers the low case:
+        assert_eq!(
+            s.admit(FlowId(1), NodeId(0), 1.0, 10.0, FlowPriority::Low, prio),
+            Admission::Go
+        );
+    }
+
+    #[test]
+    fn park_is_idempotent() {
+        let mut s = CongestionScheduler::new();
+        s.park(NodeId(0), FlowId(1));
+        s.park(NodeId(0), FlowId(1));
+        assert_eq!(s.parked(NodeId(0)), &[FlowId(1)]);
+        assert_eq!(s.total_parked(), 1);
+    }
+
+    #[test]
+    fn drain_orders_high_first_fifo_within_class() {
+        let mut s = CongestionScheduler::new();
+        for f in [1u32, 2, 3, 4] {
+            s.park(NodeId(0), FlowId(f));
+        }
+        let prio = |f: FlowId| {
+            if f == FlowId(2) || f == FlowId(4) {
+                FlowPriority::High
+            } else {
+                FlowPriority::Low
+            }
+        };
+        let order = s.drain(NodeId(0), prio);
+        assert_eq!(order, vec![FlowId(2), FlowId(4), FlowId(1), FlowId(3)]);
+        assert_eq!(s.total_parked(), 0);
+        assert!(s.drain(NodeId(0), lows).is_empty());
+    }
+
+    #[test]
+    fn contended_links_lists_nonempty_queues() {
+        let mut s = CongestionScheduler::new();
+        s.park(NodeId(3), FlowId(1));
+        s.park(NodeId(5), FlowId(2));
+        let links: Vec<NodeId> = s.contended_links().collect();
+        assert_eq!(links, vec![NodeId(3), NodeId(5)]);
+    }
+}

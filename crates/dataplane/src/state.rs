@@ -1,0 +1,146 @@
+//! Per-switch runtime state: UIB registers, outgoing-link capacity
+//! accounting, and pipeline overhead counters.
+
+use crate::uib::Uib;
+use p4update_net::{NodeId, Topology};
+use std::collections::BTreeMap;
+
+/// The mutable state of one switch, shared between the chassis (data-packet
+//  forwarding) and the pluggable update logic.
+#[derive(Debug, Clone)]
+pub struct SwitchState {
+    /// This switch's identity.
+    pub id: NodeId,
+    /// The per-flow register file.
+    pub uib: Uib,
+    /// Remaining capacity on each outgoing directed link `(self → neighbor)`
+    /// in flow-size units. The sending endpoint exclusively controls its
+    /// direction, which is what makes the paper's local congestion
+    /// scheduling sound (§7.4).
+    capacity: BTreeMap<NodeId, f64>,
+    /// Pipeline passes executed (overhead metric; each message handled is
+    /// at least one pass, resubmissions add more).
+    pub pipeline_passes: u64,
+}
+
+impl SwitchState {
+    /// State for switch `id` in `topo`, with full capacity on every
+    /// outgoing link.
+    pub fn new(id: NodeId, topo: &Topology) -> Self {
+        let capacity = topo
+            .neighbors(id)
+            .iter()
+            .map(|&(n, l)| (n, topo.link(l).capacity))
+            .collect();
+        SwitchState {
+            id,
+            uib: Uib::new(),
+            capacity,
+            pipeline_passes: 0,
+        }
+    }
+
+    /// Remaining capacity toward `neighbor` (`None` if not adjacent).
+    pub fn remaining_capacity(&self, neighbor: NodeId) -> Option<f64> {
+        self.capacity.get(&neighbor).copied()
+    }
+
+    /// Whether `size` units fit on the link toward `neighbor`. Non-adjacent
+    /// targets never fit.
+    pub fn capacity_suffices(&self, neighbor: NodeId, size: f64) -> bool {
+        self.remaining_capacity(neighbor)
+            .is_some_and(|c| c + 1e-9 >= size)
+    }
+
+    /// Reserve `size` units toward `neighbor`. Returns `false` (and
+    /// reserves nothing) when capacity is insufficient.
+    pub fn reserve_capacity(&mut self, neighbor: NodeId, size: f64) -> bool {
+        match self.capacity.get_mut(&neighbor) {
+            Some(c) if *c + 1e-9 >= size => {
+                *c -= size;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Release `size` units toward `neighbor` (no-op for non-neighbors).
+    /// Clamps at the link's nominal capacity is deliberately *not* applied:
+    /// releases must balance reserves, and over-release indicates a logic
+    /// bug that the consistency checker will flag.
+    pub fn release_capacity(&mut self, neighbor: NodeId, size: f64) {
+        if let Some(c) = self.capacity.get_mut(&neighbor) {
+            *c += size;
+        }
+    }
+
+    /// Neighbors with tracked capacity (the switch's ports).
+    pub fn neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.capacity.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4update_des::SimDuration;
+    use p4update_net::TopologyBuilder;
+
+    fn line3() -> Topology {
+        let mut b = TopologyBuilder::new("l3");
+        let v: Vec<_> = (0..3).map(|i| b.add_node(format!("n{i}"))).collect();
+        b.add_link(v[0], v[1], SimDuration::from_millis(1), 10.0);
+        b.add_link(v[1], v[2], SimDuration::from_millis(1), 4.0);
+        b.build()
+    }
+
+    #[test]
+    fn capacity_initialized_from_topology() {
+        let t = line3();
+        let s = SwitchState::new(NodeId(1), &t);
+        assert_eq!(s.remaining_capacity(NodeId(0)), Some(10.0));
+        assert_eq!(s.remaining_capacity(NodeId(2)), Some(4.0));
+        assert_eq!(s.remaining_capacity(NodeId(1)), None);
+        assert_eq!(s.neighbors().collect::<Vec<_>>(), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn reserve_and_release() {
+        let t = line3();
+        let mut s = SwitchState::new(NodeId(1), &t);
+        assert!(s.reserve_capacity(NodeId(2), 3.0));
+        assert_eq!(s.remaining_capacity(NodeId(2)), Some(1.0));
+        assert!(!s.reserve_capacity(NodeId(2), 2.0));
+        assert_eq!(s.remaining_capacity(NodeId(2)), Some(1.0));
+        s.release_capacity(NodeId(2), 3.0);
+        assert_eq!(s.remaining_capacity(NodeId(2)), Some(4.0));
+    }
+
+    #[test]
+    fn capacity_check_tolerates_float_noise() {
+        let t = line3();
+        let mut s = SwitchState::new(NodeId(1), &t);
+        assert!(s.reserve_capacity(NodeId(2), 4.0));
+        assert!(s.capacity_suffices(NodeId(2), 0.0));
+        assert!(!s.capacity_suffices(NodeId(2), 0.1));
+    }
+
+    #[test]
+    fn exact_fill_is_allowed() {
+        let t = line3();
+        let mut s = SwitchState::new(NodeId(0), &t);
+        assert!(s.capacity_suffices(NodeId(1), 10.0));
+        assert!(s.reserve_capacity(NodeId(1), 10.0));
+        assert!(!s.reserve_capacity(NodeId(1), 0.5));
+    }
+
+    #[test]
+    fn non_neighbor_operations_are_safe() {
+        let t = line3();
+        let mut s = SwitchState::new(NodeId(0), &t);
+        assert!(!s.capacity_suffices(NodeId(2), 0.1));
+        assert!(!s.reserve_capacity(NodeId(2), 1.0));
+        s.release_capacity(NodeId(2), 1.0); // no-op
+        assert_eq!(s.remaining_capacity(NodeId(2)), None);
+    }
+}

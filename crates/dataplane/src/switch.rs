@@ -1,0 +1,308 @@
+//! The switch chassis: owns the per-switch state, forwards data packets by
+//! the active UIB rules, and dispatches control messages to the plugged-in
+//! update logic.
+//!
+//! Data-packet forwarding is identical for every system under test — only
+//! the control-message handling differs — so it lives here, outside the
+//! pluggable logic.
+
+use crate::logic::{DropReason, Effect, Endpoint, SwitchLogic};
+use crate::state::SwitchState;
+use p4update_des::SimTime;
+use p4update_messages::{DataPacket, Frm, Message};
+use p4update_net::{FlowId, NodeId, Topology};
+
+/// A switch: state plus protocol logic.
+pub struct Switch {
+    /// Runtime state (UIB, capacities, counters).
+    pub state: SwitchState,
+    logic: Box<dyn SwitchLogic + Send>,
+    /// FRMs already emitted, to report each new flow once.
+    reported_flows: Vec<FlowId>,
+    /// Two-phase-commit mode (§11): the ingress stamps each injected
+    /// packet with its applied configuration version, and forwarding
+    /// honors tags (tagged packets follow exactly one rule generation).
+    stamp_tags: bool,
+}
+
+impl Switch {
+    /// Build a switch for node `id` with the given protocol logic.
+    pub fn new(id: NodeId, topo: &Topology, logic: Box<dyn SwitchLogic + Send>) -> Self {
+        Switch {
+            state: SwitchState::new(id, topo),
+            logic,
+            reported_flows: Vec::new(),
+            stamp_tags: false,
+        }
+    }
+
+    /// Enable the §11 two-phase-commit mode on this switch.
+    pub fn enable_two_phase_commit(&mut self) {
+        self.stamp_tags = true;
+    }
+
+    /// This switch's node id.
+    pub fn id(&self) -> NodeId {
+        self.state.id
+    }
+
+    /// A message arrived (from a neighbor switch or the controller).
+    pub fn handle_message(&mut self, now: SimTime, from: Endpoint, msg: Message) -> Vec<Effect> {
+        self.state.pipeline_passes += 1;
+        let mut out = Vec::new();
+        match msg {
+            Message::Data(pkt) => self.forward_data(pkt, &mut out),
+            other => self.logic.on_control(now, &mut self.state, from, other, &mut out),
+        }
+        out
+    }
+
+    /// Messages parked in this switch's pipeline (resubmission load).
+    pub fn parked_messages(&self) -> usize {
+        self.logic.parked_messages()
+    }
+
+    /// Diagnostic summary of the plugged-in logic.
+    pub fn debug_summary(&self) -> String {
+        self.logic.debug_summary()
+    }
+
+    /// A rule installation completed.
+    pub fn handle_installed(&mut self, now: SimTime, flow: FlowId, token: u64) -> Vec<Effect> {
+        self.state.pipeline_passes += 1;
+        let mut out = Vec::new();
+        self.logic
+            .on_installed(now, &mut self.state, flow, token, &mut out);
+        out
+    }
+
+    /// A data packet enters the network at this switch (host-facing port).
+    /// Unknown flows are reported to the controller via FRM — the ingress
+    /// clones the first packet and stamps the flow id (Appendix B) — and the
+    /// packet itself blackholes until rules exist.
+    pub fn inject_packet(&mut self, _now: SimTime, mut pkt: DataPacket, egress_hint: NodeId) -> Vec<Effect> {
+        self.state.pipeline_passes += 1;
+        let mut out = Vec::new();
+        let entry = self.state.uib.read(pkt.flow);
+        if self.stamp_tags && pkt.tag.is_none() && entry.has_active_rule() {
+            // Two-phase commit: stamp with the ingress's applied version;
+            // the whole path then forwards by that one generation.
+            pkt.tag = Some(entry.applied_version);
+        }
+        if !entry.has_active_rule() && !self.reported_flows.contains(&pkt.flow) {
+            self.reported_flows.push(pkt.flow);
+            out.push(Effect::SendController {
+                msg: Message::Frm(Frm {
+                    flow: pkt.flow,
+                    ingress: self.state.id,
+                    egress: egress_hint,
+                }),
+            });
+        }
+        self.forward_data(pkt, &mut out);
+        out
+    }
+
+    /// Forward a data packet: deliver at egress, drop on missing rule
+    /// (blackhole) or exhausted TTL. Tagged packets (two-phase commit,
+    /// §11) forward by the rule generation matching their stamp: the
+    /// active rule for the current version, the saved previous generation
+    /// for the version before it.
+    fn forward_data(&mut self, pkt: DataPacket, out: &mut Vec<Effect>) {
+        let entry = self.state.uib.read(pkt.flow);
+        if !entry.has_active_rule() {
+            out.push(Effect::PacketDropped {
+                pkt,
+                reason: DropReason::NoRule,
+            });
+            return;
+        }
+        let next_hop = match pkt.tag {
+            Some(v) if v < entry.applied_version => {
+                // Only the immediately previous generation is kept; rules
+                // of older generations were overwritten and cannot be
+                // served consistently.
+                if entry.prev_version > p4update_net::Version::NONE && v == entry.prev_version {
+                    entry.prev_next_hop
+                } else {
+                    out.push(Effect::PacketDropped {
+                        pkt,
+                        reason: DropReason::NoRule,
+                    });
+                    return;
+                }
+            }
+            _ => entry.active_next_hop,
+        };
+        match next_hop {
+            None => out.push(Effect::PacketDelivered { pkt }),
+            Some(next) => {
+                if pkt.ttl == 0 {
+                    out.push(Effect::PacketDropped {
+                        pkt,
+                        reason: DropReason::TtlExpired,
+                    });
+                } else {
+                    out.push(Effect::ForwardData {
+                        to: next,
+                        pkt: DataPacket {
+                            ttl: pkt.ttl - 1,
+                            ..pkt
+                        },
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4update_des::SimDuration;
+    use p4update_net::{TopologyBuilder, Version};
+
+    /// Logic that does nothing — forwarding behavior is chassis-only.
+    struct NullLogic;
+    impl SwitchLogic for NullLogic {
+        fn on_control(
+            &mut self,
+            _now: SimTime,
+            _state: &mut SwitchState,
+            _from: Endpoint,
+            _msg: Message,
+            _out: &mut Vec<Effect>,
+        ) {
+        }
+        fn on_installed(
+            &mut self,
+            _now: SimTime,
+            _state: &mut SwitchState,
+            _flow: FlowId,
+            _token: u64,
+            _out: &mut Vec<Effect>,
+        ) {
+        }
+    }
+
+    fn line3() -> Topology {
+        let mut b = TopologyBuilder::new("l3");
+        let v: Vec<_> = (0..3).map(|i| b.add_node(format!("n{i}"))).collect();
+        b.add_link(v[0], v[1], SimDuration::from_millis(1), 10.0);
+        b.add_link(v[1], v[2], SimDuration::from_millis(1), 10.0);
+        b.build()
+    }
+
+    fn sw(topo: &Topology, id: u32) -> Switch {
+        Switch::new(NodeId(id), topo, Box::new(NullLogic))
+    }
+
+    fn pkt(flow: u32, ttl: u8) -> DataPacket {
+        DataPacket {
+            flow: FlowId(flow),
+            seq: 0,
+            ttl, tag: None }
+    }
+
+    #[test]
+    fn unknown_flow_blackholes() {
+        let t = line3();
+        let mut s = sw(&t, 1);
+        let effects = s.handle_message(SimTime::ZERO, Endpoint::Switch(NodeId(0)), Message::Data(pkt(5, 64)));
+        assert_eq!(
+            effects,
+            vec![Effect::PacketDropped {
+                pkt: pkt(5, 64),
+                reason: DropReason::NoRule
+            }]
+        );
+    }
+
+    #[test]
+    fn active_rule_forwards_and_decrements_ttl() {
+        let t = line3();
+        let mut s = sw(&t, 1);
+        s.state.uib.update(FlowId(5), |e| {
+            e.applied_version = Version(1);
+            e.active_next_hop = Some(NodeId(2));
+        });
+        let effects = s.handle_message(SimTime::ZERO, Endpoint::Switch(NodeId(0)), Message::Data(pkt(5, 64)));
+        assert_eq!(
+            effects,
+            vec![Effect::ForwardData {
+                to: NodeId(2),
+                pkt: pkt(5, 63)
+            }]
+        );
+    }
+
+    #[test]
+    fn ttl_zero_drops() {
+        let t = line3();
+        let mut s = sw(&t, 1);
+        s.state.uib.update(FlowId(5), |e| {
+            e.applied_version = Version(1);
+            e.active_next_hop = Some(NodeId(2));
+        });
+        let effects = s.handle_message(SimTime::ZERO, Endpoint::Switch(NodeId(0)), Message::Data(pkt(5, 0)));
+        assert_eq!(
+            effects,
+            vec![Effect::PacketDropped {
+                pkt: pkt(5, 0),
+                reason: DropReason::TtlExpired
+            }]
+        );
+    }
+
+    #[test]
+    fn egress_delivers() {
+        let t = line3();
+        let mut s = sw(&t, 2);
+        s.state.uib.update(FlowId(5), |e| {
+            e.applied_version = Version(1);
+            e.active_next_hop = None;
+        });
+        let effects = s.handle_message(SimTime::ZERO, Endpoint::Switch(NodeId(1)), Message::Data(pkt(5, 60)));
+        assert_eq!(effects, vec![Effect::PacketDelivered { pkt: pkt(5, 60) }]);
+    }
+
+    #[test]
+    fn injection_of_unknown_flow_reports_once() {
+        let t = line3();
+        let mut s = sw(&t, 0);
+        let effects = s.inject_packet(SimTime::ZERO, pkt(9, 64), NodeId(2));
+        assert_eq!(effects.len(), 2);
+        assert!(matches!(effects[0], Effect::SendController { msg: Message::Frm(f) } if f.flow == FlowId(9) && f.ingress == NodeId(0) && f.egress == NodeId(2)));
+        assert!(matches!(effects[1], Effect::PacketDropped { reason: DropReason::NoRule, .. }));
+        // Second injection: no new FRM.
+        let effects = s.inject_packet(SimTime::ZERO, pkt(9, 64), NodeId(2));
+        assert_eq!(effects.len(), 1);
+    }
+
+    #[test]
+    fn injection_with_rule_forwards_without_frm() {
+        let t = line3();
+        let mut s = sw(&t, 0);
+        s.state.uib.update(FlowId(9), |e| {
+            e.applied_version = Version(1);
+            e.active_next_hop = Some(NodeId(1));
+        });
+        let effects = s.inject_packet(SimTime::ZERO, pkt(9, 64), NodeId(2));
+        assert_eq!(
+            effects,
+            vec![Effect::ForwardData {
+                to: NodeId(1),
+                pkt: pkt(9, 63)
+            }]
+        );
+    }
+
+    #[test]
+    fn pipeline_passes_are_counted() {
+        let t = line3();
+        let mut s = sw(&t, 0);
+        s.handle_message(SimTime::ZERO, Endpoint::Controller, Message::Data(pkt(1, 1)));
+        s.handle_installed(SimTime::ZERO, FlowId(1), 0);
+        assert_eq!(s.state.pipeline_passes, 2);
+    }
+}

@@ -1,0 +1,462 @@
+//! The Update Information Base (UIB): the per-flow register file of the
+//! P4Update data plane (§6, Table 1 / Appendix B).
+//!
+//! Every field of the paper's Table 1 is a separate [`RegisterArray`]
+//! indexed by the flow's register index, which an exact-match table maps
+//! flow identifiers to — the same structure the P4 program uses ("the
+//! distance, version number, and other helping variables are defined
+//! per-flow and indexed by the flow ID", §10).
+//!
+//! Register groups (the paper's Table 1 plus the "other helping variables"
+//! §10 mentions):
+//!
+//! - **staged** (`new_version`, `new_distance`, `egress_port_updated`, and
+//!   the clone-session port): the labels of the highest UIM received, not
+//!   yet active;
+//! - **applied** (`V_n(v)`, `D_n(v)` in Algorithm 2, `egress_port`): the
+//!   configuration data packets currently follow;
+//! - **inheritance** (`old_version`, `old_distance` — `V_o(v)`, `D_o(v)`):
+//!   the dual-layer gating layer. Single-layer flips copy the applied
+//!   values here ("the old_distance and old_version will also be updated to
+//!   the corresponding value in new_distance and new_version", Appendix B);
+//!   dual-layer updates *inherit* downstream old distances instead, which
+//!   is the loop-freedom invariant of §3.2.
+
+use p4update_messages::UpdateKind;
+use p4update_net::{FlowId, NodeId, Version};
+use p4update_pipeline::{ExactTable, RegisterArray};
+
+/// Congestion priority of a flow at this switch (§7.4): flows that must
+/// move away from a contended link are raised to high priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowPriority {
+    /// Default priority.
+    #[default]
+    Low,
+    /// The flow's move frees capacity another flow is waiting for.
+    High,
+}
+
+/// A consistent snapshot of one flow's UIB registers at one switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UibEntry {
+    // --- staged from the highest UIM ---
+    /// `new_version`: version of the highest UIM received.
+    pub uim_version: Version,
+    /// `new_distance`: this node's `D_n` label in that UIM.
+    pub uim_distance: u32,
+    /// `egress_port_updated`: staged next hop (`None` = terminate here).
+    pub staged_next_hop: Option<NodeId>,
+    /// Staged upstream neighbor (UNM clone-session port).
+    pub staged_upstream: Option<NodeId>,
+    /// Mechanism announced by the UIM.
+    pub uim_kind: Option<UpdateKind>,
+    // --- applied configuration ---
+    /// `V_n(v)`: version of the last accepted configuration
+    /// (`Version::NONE` when the switch holds no rule for the flow).
+    pub applied_version: Version,
+    /// `D_n(v)`: distance of the last accepted configuration.
+    pub applied_distance: u32,
+    /// `egress_port`: the active next hop data packets follow.
+    pub active_next_hop: Option<NodeId>,
+    /// Active upstream neighbor.
+    pub active_upstream: Option<NodeId>,
+    // --- inheritance layer (dual-layer gating) ---
+    /// `V_o(v)`.
+    pub old_version: Version,
+    /// `D_o(v)` — the "segment ID" of §3.2's intuition.
+    pub old_distance: u32,
+    // --- previous generation (two-phase commit, §11) ---
+    /// Version of the configuration that was active before the last flip;
+    /// packets tagged with it still forward by its rule.
+    pub prev_version: Version,
+    /// Next hop of the previous generation (`None` = terminated here).
+    pub prev_next_hop: Option<NodeId>,
+    // --- misc ---
+    /// Immutable flow size bound for local capacity checks.
+    pub flow_size: f64,
+    /// Dynamic congestion priority.
+    pub priority: FlowPriority,
+    /// `t`: mechanism of the last applied update.
+    pub last_update_type: Option<UpdateKind>,
+    /// Hop counter for dual-layer symmetry breaking (Alg. 2).
+    pub counter: u32,
+}
+
+impl Default for UibEntry {
+    fn default() -> Self {
+        UibEntry {
+            uim_version: Version::NONE,
+            uim_distance: u32::MAX,
+            staged_next_hop: None,
+            staged_upstream: None,
+            uim_kind: None,
+            applied_version: Version::NONE,
+            applied_distance: u32::MAX,
+            active_next_hop: None,
+            active_upstream: None,
+            old_version: Version::NONE,
+            old_distance: u32::MAX,
+            prev_version: Version::NONE,
+            prev_next_hop: None,
+            flow_size: 0.0,
+            priority: FlowPriority::Low,
+            last_update_type: None,
+            counter: 0,
+        }
+    }
+}
+
+impl UibEntry {
+    /// True when the switch holds an active forwarding or terminating rule
+    /// for the flow.
+    pub fn has_active_rule(&self) -> bool {
+        self.applied_version > Version::NONE
+    }
+
+    /// True when the active rule terminates the flow here (egress role).
+    pub fn is_egress(&self) -> bool {
+        self.has_active_rule() && self.active_next_hop.is_none()
+    }
+
+    /// Apply the staged configuration as a **single-layer** flip: the
+    /// staged labels become the applied configuration, and the inheritance
+    /// layer is reset to the applied values (Appendix B).
+    pub fn apply_single(&mut self) {
+        self.save_previous_generation();
+        self.applied_version = self.uim_version;
+        self.applied_distance = self.uim_distance;
+        self.active_next_hop = self.staged_next_hop;
+        self.active_upstream = self.staged_upstream;
+        self.old_version = self.uim_version;
+        self.old_distance = self.uim_distance;
+        self.last_update_type = Some(UpdateKind::Single);
+        self.counter = 0;
+    }
+
+    /// Keep the outgoing rule of the configuration being replaced, so
+    /// packets stamped with its version under the two-phase-commit mode
+    /// (§11) still follow it.
+    fn save_previous_generation(&mut self) {
+        if self.has_active_rule() {
+            self.prev_version = self.applied_version;
+            self.prev_next_hop = self.active_next_hop;
+        }
+    }
+
+    /// Apply the staged configuration as a **dual-layer** flip, inheriting
+    /// the sender's old distance/version from the verified UNM
+    /// (Alg. 2 lines 11–16 and 20–23).
+    pub fn apply_dual(&mut self, inherited_old_version: Version, inherited_old_distance: u32, counter: u32) {
+        self.save_previous_generation();
+        self.applied_version = self.uim_version;
+        self.applied_distance = self.uim_distance;
+        self.active_next_hop = self.staged_next_hop;
+        self.active_upstream = self.staged_upstream;
+        self.old_version = inherited_old_version;
+        self.old_distance = inherited_old_distance;
+        self.last_update_type = Some(UpdateKind::Dual);
+        self.counter = counter;
+    }
+}
+
+const INITIAL_FLOWS: usize = 64;
+
+/// The full UIB: one register array per field plus the flow-index table,
+/// wrapped in entry-level read/write.
+#[derive(Debug, Clone)]
+pub struct Uib {
+    index: ExactTable<FlowId, usize>,
+    next_slot: usize,
+    new_version: RegisterArray<Version>,
+    new_distance: RegisterArray<u32>,
+    egress_port_updated: RegisterArray<Option<NodeId>>,
+    staged_upstream: RegisterArray<Option<NodeId>>,
+    uim_kind: RegisterArray<Option<UpdateKind>>,
+    applied_version: RegisterArray<Version>,
+    applied_distance: RegisterArray<u32>,
+    egress_port: RegisterArray<Option<NodeId>>,
+    active_upstream: RegisterArray<Option<NodeId>>,
+    old_version: RegisterArray<Version>,
+    old_distance: RegisterArray<u32>,
+    prev_version: RegisterArray<Version>,
+    prev_next_hop: RegisterArray<Option<NodeId>>,
+    flow_size: RegisterArray<f64>,
+    flow_priority: RegisterArray<FlowPriority>,
+    last_update_type: RegisterArray<Option<UpdateKind>>,
+    counter: RegisterArray<u32>,
+}
+
+impl Default for Uib {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Uib {
+    /// Fresh UIB with the default register sizing.
+    pub fn new() -> Self {
+        Uib {
+            index: ExactTable::new("flow_index"),
+            next_slot: 0,
+            new_version: RegisterArray::new("new_version", INITIAL_FLOWS),
+            new_distance: RegisterArray::filled("new_distance", INITIAL_FLOWS, u32::MAX),
+            egress_port_updated: RegisterArray::new("egress_port_updated", INITIAL_FLOWS),
+            staged_upstream: RegisterArray::new("staged_upstream", INITIAL_FLOWS),
+            uim_kind: RegisterArray::new("uim_kind", INITIAL_FLOWS),
+            applied_version: RegisterArray::new("applied_version", INITIAL_FLOWS),
+            applied_distance: RegisterArray::filled("applied_distance", INITIAL_FLOWS, u32::MAX),
+            egress_port: RegisterArray::new("egress_port", INITIAL_FLOWS),
+            active_upstream: RegisterArray::new("active_upstream", INITIAL_FLOWS),
+            old_version: RegisterArray::new("old_version", INITIAL_FLOWS),
+            old_distance: RegisterArray::filled("old_distance", INITIAL_FLOWS, u32::MAX),
+            prev_version: RegisterArray::new("prev_version", INITIAL_FLOWS),
+            prev_next_hop: RegisterArray::new("prev_next_hop", INITIAL_FLOWS),
+            flow_size: RegisterArray::new("flow_size", INITIAL_FLOWS),
+            flow_priority: RegisterArray::new("flow_priority", INITIAL_FLOWS),
+            last_update_type: RegisterArray::new("t", INITIAL_FLOWS),
+            counter: RegisterArray::new("counter", INITIAL_FLOWS),
+        }
+    }
+
+    /// The register index of a flow, allocating one on first use (the P4
+    /// program computes this by hashing; the model allocates densely).
+    fn slot(&mut self, flow: FlowId) -> usize {
+        if let Some(&i) = self.index.lookup(&flow).hit() {
+            return i;
+        }
+        let i = self.next_slot;
+        self.next_slot += 1;
+        self.index
+            .insert(flow, i)
+            .expect("flow index table is unbounded");
+        self.grow(i + 1);
+        i
+    }
+
+    fn grow(&mut self, size: usize) {
+        self.new_version.ensure(size);
+        self.new_distance.grow_to(size, u32::MAX);
+        self.egress_port_updated.ensure(size);
+        self.staged_upstream.ensure(size);
+        self.uim_kind.ensure(size);
+        self.applied_version.ensure(size);
+        self.applied_distance.grow_to(size, u32::MAX);
+        self.egress_port.ensure(size);
+        self.active_upstream.ensure(size);
+        self.old_version.ensure(size);
+        self.old_distance.grow_to(size, u32::MAX);
+        self.prev_version.ensure(size);
+        self.prev_next_hop.ensure(size);
+        self.flow_size.ensure(size);
+        self.flow_priority.ensure(size);
+        self.last_update_type.ensure(size);
+        self.counter.ensure(size);
+    }
+
+    /// True when the flow has ever been seen at this switch.
+    pub fn knows(&self, flow: FlowId) -> bool {
+        self.index.lookup(&flow).hit().is_some()
+    }
+
+    /// Snapshot a flow's registers ([`UibEntry::default`] for unknown
+    /// flows, matching uninitialized register contents).
+    pub fn read(&self, flow: FlowId) -> UibEntry {
+        let Some(&i) = self.index.lookup(&flow).hit() else {
+            return UibEntry::default();
+        };
+        UibEntry {
+            uim_version: *self.new_version.read(i),
+            uim_distance: *self.new_distance.read(i),
+            staged_next_hop: *self.egress_port_updated.read(i),
+            staged_upstream: *self.staged_upstream.read(i),
+            uim_kind: *self.uim_kind.read(i),
+            applied_version: *self.applied_version.read(i),
+            applied_distance: *self.applied_distance.read(i),
+            active_next_hop: *self.egress_port.read(i),
+            active_upstream: *self.active_upstream.read(i),
+            old_version: *self.old_version.read(i),
+            old_distance: *self.old_distance.read(i),
+            prev_version: *self.prev_version.read(i),
+            prev_next_hop: *self.prev_next_hop.read(i),
+            flow_size: *self.flow_size.read(i),
+            priority: *self.flow_priority.read(i),
+            last_update_type: *self.last_update_type.read(i),
+            counter: *self.counter.read(i),
+        }
+    }
+
+    /// Write a flow's registers wholesale.
+    pub fn write(&mut self, flow: FlowId, e: UibEntry) {
+        let i = self.slot(flow);
+        self.new_version.write(i, e.uim_version);
+        self.new_distance.write(i, e.uim_distance);
+        self.egress_port_updated.write(i, e.staged_next_hop);
+        self.staged_upstream.write(i, e.staged_upstream);
+        self.uim_kind.write(i, e.uim_kind);
+        self.applied_version.write(i, e.applied_version);
+        self.applied_distance.write(i, e.applied_distance);
+        self.egress_port.write(i, e.active_next_hop);
+        self.active_upstream.write(i, e.active_upstream);
+        self.old_version.write(i, e.old_version);
+        self.old_distance.write(i, e.old_distance);
+        self.prev_version.write(i, e.prev_version);
+        self.prev_next_hop.write(i, e.prev_next_hop);
+        self.flow_size.write(i, e.flow_size);
+        self.flow_priority.write(i, e.priority);
+        self.last_update_type.write(i, e.last_update_type);
+        self.counter.write(i, e.counter);
+    }
+
+    /// Read-modify-write a flow's registers.
+    pub fn update<R>(&mut self, flow: FlowId, f: impl FnOnce(&mut UibEntry) -> R) -> R {
+        let mut e = self.read(flow);
+        let r = f(&mut e);
+        self.write(flow, e);
+        r
+    }
+
+    /// The active next hop data packets follow, if an active rule exists.
+    pub fn active_next_hop(&self, flow: FlowId) -> Option<NodeId> {
+        self.read(flow).active_next_hop
+    }
+
+    /// All flows with allocated slots, sorted.
+    pub fn flows(&self) -> Vec<FlowId> {
+        let mut v: Vec<FlowId> = self.index.iter().map(|(&f, _)| f).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_flow_reads_default() {
+        let uib = Uib::new();
+        let e = uib.read(FlowId(7));
+        assert_eq!(e, UibEntry::default());
+        assert!(!e.has_active_rule());
+        assert!(!e.is_egress());
+        assert!(!uib.knows(FlowId(7)));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut uib = Uib::new();
+        let entry = UibEntry {
+            uim_version: Version(2),
+            uim_distance: 3,
+            staged_next_hop: Some(NodeId(4)),
+            staged_upstream: Some(NodeId(1)),
+            uim_kind: Some(UpdateKind::Dual),
+            applied_version: Version(1),
+            applied_distance: 2,
+            active_next_hop: Some(NodeId(5)),
+            active_upstream: None,
+            old_version: Version(1),
+            old_distance: 2,
+            prev_version: Version(1),
+            prev_next_hop: Some(NodeId(6)),
+            flow_size: 1.5,
+            priority: FlowPriority::High,
+            last_update_type: Some(UpdateKind::Single),
+            counter: 9,
+        };
+        uib.write(FlowId(3), entry);
+        assert_eq!(uib.read(FlowId(3)), entry);
+        assert!(uib.knows(FlowId(3)));
+        assert_eq!(uib.active_next_hop(FlowId(3)), Some(NodeId(5)));
+    }
+
+    #[test]
+    fn egress_role_detection() {
+        let mut uib = Uib::new();
+        uib.update(FlowId(0), |e| {
+            e.applied_version = Version(1);
+            e.active_next_hop = None;
+        });
+        assert!(uib.read(FlowId(0)).is_egress());
+        uib.update(FlowId(0), |e| e.active_next_hop = Some(NodeId(2)));
+        assert!(!uib.read(FlowId(0)).is_egress());
+        assert!(uib.read(FlowId(0)).has_active_rule());
+    }
+
+    #[test]
+    fn apply_single_resets_inheritance_layer() {
+        let mut e = UibEntry {
+            uim_version: Version(3),
+            uim_distance: 4,
+            staged_next_hop: Some(NodeId(9)),
+            staged_upstream: Some(NodeId(8)),
+            old_version: Version(1),
+            old_distance: 0, // inherited by a past dual-layer run
+            last_update_type: Some(UpdateKind::Dual),
+            counter: 5,
+            ..UibEntry::default()
+        };
+        e.apply_single();
+        assert_eq!(e.applied_version, Version(3));
+        assert_eq!(e.applied_distance, 4);
+        assert_eq!(e.active_next_hop, Some(NodeId(9)));
+        assert_eq!(e.active_upstream, Some(NodeId(8)));
+        // Appendix B: old_* take the new values at a single-layer flip.
+        assert_eq!(e.old_version, Version(3));
+        assert_eq!(e.old_distance, 4);
+        assert_eq!(e.last_update_type, Some(UpdateKind::Single));
+        assert_eq!(e.counter, 0);
+    }
+
+    #[test]
+    fn apply_dual_inherits_old_distance() {
+        let mut e = UibEntry {
+            uim_version: Version(2),
+            uim_distance: 5,
+            staged_next_hop: Some(NodeId(3)),
+            old_version: Version(1),
+            old_distance: 1,
+            ..UibEntry::default()
+        };
+        e.apply_dual(Version(1), 0, 4);
+        assert_eq!(e.applied_version, Version(2));
+        assert_eq!(e.applied_distance, 5);
+        // Inheritance layer takes the UNM's values, not the staged ones.
+        assert_eq!(e.old_version, Version(1));
+        assert_eq!(e.old_distance, 0);
+        assert_eq!(e.counter, 4);
+        assert_eq!(e.last_update_type, Some(UpdateKind::Dual));
+    }
+
+    #[test]
+    fn update_closure_result_propagates() {
+        let mut uib = Uib::new();
+        let was_known = uib.update(FlowId(1), |e| {
+            let known = e.has_active_rule();
+            e.applied_version = Version(1);
+            known
+        });
+        assert!(!was_known);
+        assert!(uib.read(FlowId(1)).has_active_rule());
+    }
+
+    #[test]
+    fn registers_grow_past_initial_sizing() {
+        let mut uib = Uib::new();
+        for i in 0..200 {
+            uib.update(FlowId(i), |e| e.uim_distance = i);
+        }
+        assert_eq!(uib.read(FlowId(150)).uim_distance, 150);
+        assert_eq!(uib.flows().len(), 200);
+    }
+
+    #[test]
+    fn flows_are_sorted() {
+        let mut uib = Uib::new();
+        for i in [5u32, 1, 3] {
+            uib.update(FlowId(i), |_| ());
+        }
+        assert_eq!(uib.flows(), vec![FlowId(1), FlowId(3), FlowId(5)]);
+    }
+}

@@ -1,0 +1,392 @@
+//! The discrete-event engine.
+//!
+//! The engine is a priority queue of timestamped events plus a world that
+//! consumes them. Determinism is the design constraint everything else bends
+//! to: two events at the same instant are delivered in the order they were
+//! scheduled (FIFO tie-break on a monotonically increasing sequence number),
+//! so a run is a pure function of (world, seed).
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A world that reacts to events of type `E`.
+///
+/// The handler receives a [`Scheduler`] through which it may schedule further
+/// events; it must not assume anything about wall-clock time.
+pub trait World {
+    /// The event payload type this world consumes.
+    type Event;
+
+    /// Handle one event at simulated time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then
+        // lowest-sequence) event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event queue handed to [`World::handle`]; schedules future events.
+pub struct Scheduler<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at t = 0.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the event being handled).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` at an absolute time. Events scheduled in the past are
+    /// clamped to `now`: delivering them "immediately" keeps causality (a
+    /// handler can never observe time moving backwards).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.queue.pop()
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    QueueDrained {
+        /// Time of the last delivered event.
+        finished_at: SimTime,
+        /// Total number of events delivered.
+        events: u64,
+    },
+    /// The configured horizon was reached with events still pending.
+    HorizonReached {
+        /// The horizon that stopped the run.
+        horizon: SimTime,
+        /// Total number of events delivered before stopping.
+        events: u64,
+    },
+    /// The event budget was exhausted (livelock guard).
+    EventBudgetExhausted {
+        /// The time at which the budget ran out.
+        stopped_at: SimTime,
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl RunOutcome {
+    /// True when the queue drained (the normal way a scenario ends).
+    pub fn drained(&self) -> bool {
+        matches!(self, RunOutcome::QueueDrained { .. })
+    }
+}
+
+/// The simulation driver: owns the world and the scheduler.
+pub struct Simulation<W: World> {
+    world: W,
+    sched: Scheduler<W::Event>,
+    events_delivered: u64,
+    /// Hard cap on delivered events; protects tests against livelock from a
+    /// buggy world that reschedules forever. Generous by default.
+    event_budget: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Wrap a world, starting at t = 0 with an empty queue.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+            events_delivered: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Replace the livelock guard (delivered-event cap).
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (for pre-run configuration).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Total events delivered so far.
+    pub fn events_delivered(&self) -> u64 {
+        self.events_delivered
+    }
+
+    /// Seed the queue before running.
+    pub fn schedule_at(&mut self, at: SimTime, event: W::Event) {
+        self.sched.schedule_at(at, event);
+    }
+
+    /// Run until the queue drains.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::from_nanos(u64::MAX))
+    }
+
+    /// Run until the queue drains or simulated time would exceed `horizon`.
+    /// Events at exactly `horizon` are still delivered.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            if self.events_delivered >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted {
+                    stopped_at: self.sched.now(),
+                    budget: self.event_budget,
+                };
+            }
+            let Some(next) = self.sched.pop() else {
+                return RunOutcome::QueueDrained {
+                    finished_at: self.sched.now(),
+                    events: self.events_delivered,
+                };
+            };
+            if next.at > horizon {
+                // Push back: a later `run_until` with a larger horizon must
+                // still see this event.
+                self.sched.queue.push(next);
+                return RunOutcome::HorizonReached {
+                    horizon,
+                    events: self.events_delivered,
+                };
+            }
+            self.sched.now = next.at;
+            self.events_delivered += 1;
+            self.world.handle(next.at, next.event, &mut self.sched);
+        }
+    }
+
+    /// Deliver exactly one event, if any is pending. Returns its timestamp.
+    /// Useful for lock-step tests that interleave assertions with events.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let next = self.sched.pop()?;
+        self.sched.now = next.at;
+        self.events_delivered += 1;
+        let at = next.at;
+        self.world.handle(at, next.event, &mut self.sched);
+        Some(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records the order events arrive in.
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, event: u32, _sched: &mut Scheduler<u32>) {
+            self.seen.push((now, event));
+        }
+    }
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn events_deliver_in_time_order() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim.schedule_at(ms(30), 3);
+        sim.schedule_at(ms(10), 1);
+        sim.schedule_at(ms(20), 2);
+        assert!(sim.run().drained());
+        let order: Vec<u32> = sim.world().seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        for i in 0..100 {
+            sim.schedule_at(ms(5), i);
+        }
+        sim.run();
+        let order: Vec<u32> = sim.world().seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn horizon_stops_and_resumes() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim.schedule_at(ms(10), 1);
+        sim.schedule_at(ms(20), 2);
+        let out = sim.run_until(ms(15));
+        assert_eq!(
+            out,
+            RunOutcome::HorizonReached {
+                horizon: ms(15),
+                events: 1
+            }
+        );
+        assert_eq!(sim.world().seen.len(), 1);
+        assert!(sim.run().drained());
+        assert_eq!(sim.world().seen.len(), 2);
+    }
+
+    #[test]
+    fn events_at_horizon_are_delivered() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim.schedule_at(ms(15), 1);
+        sim.run_until(ms(15));
+        assert_eq!(sim.world().seen.len(), 1);
+    }
+
+    /// A world that chains: each event schedules the next until a countdown
+    /// hits zero.
+    struct Chain {
+        fired: u32,
+    }
+    impl World for Chain {
+        type Event = u32;
+        fn handle(&mut self, _now: SimTime, event: u32, sched: &mut Scheduler<u32>) {
+            self.fired += 1;
+            if event > 0 {
+                sched.schedule_in(SimDuration::from_millis(1), event - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut sim = Simulation::new(Chain { fired: 0 });
+        sim.schedule_at(ms(0), 9);
+        let out = sim.run();
+        assert!(out.drained());
+        assert_eq!(sim.world().fired, 10);
+        assert_eq!(sim.now(), ms(9));
+    }
+
+    #[test]
+    fn event_budget_stops_livelock() {
+        struct Forever;
+        impl World for Forever {
+            type Event = ();
+            fn handle(&mut self, _now: SimTime, _e: (), sched: &mut Scheduler<()>) {
+                sched.schedule_in(SimDuration::ZERO, ());
+            }
+        }
+        let mut sim = Simulation::new(Forever).with_event_budget(1000);
+        sim.schedule_at(SimTime::ZERO, ());
+        let out = sim.run();
+        assert_eq!(
+            out,
+            RunOutcome::EventBudgetExhausted {
+                stopped_at: SimTime::ZERO,
+                budget: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        struct PastScheduler {
+            second_delivery: Option<SimTime>,
+        }
+        impl World for PastScheduler {
+            type Event = u8;
+            fn handle(&mut self, now: SimTime, e: u8, sched: &mut Scheduler<u8>) {
+                if e == 0 {
+                    // Try to schedule into the past.
+                    sched.schedule_at(SimTime::ZERO, 1);
+                } else {
+                    self.second_delivery = Some(now);
+                }
+            }
+        }
+        let mut sim = Simulation::new(PastScheduler {
+            second_delivery: None,
+        });
+        sim.schedule_at(ms(10), 0);
+        sim.run();
+        assert_eq!(sim.world().second_delivery, Some(ms(10)));
+    }
+
+    #[test]
+    fn step_delivers_one_event() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim.schedule_at(ms(1), 1);
+        sim.schedule_at(ms(2), 2);
+        assert_eq!(sim.step(), Some(ms(1)));
+        assert_eq!(sim.world().seen.len(), 1);
+        assert_eq!(sim.step(), Some(ms(2)));
+        assert_eq!(sim.step(), None);
+    }
+}

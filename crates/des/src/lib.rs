@@ -1,0 +1,35 @@
+//! # p4update-des
+//!
+//! A deterministic discrete-event simulation (DES) engine, the execution
+//! substrate of the P4Update reproduction.
+//!
+//! The paper evaluates P4Update on BMv2 software switches under Mininet; this
+//! crate replaces that testbed with a simulator in which all latency sources
+//! (link propagation, control-plane queueing, rule-installation delay) are
+//! explicit model parameters. A run is a pure function of the world's initial
+//! state and a `u64` seed, which is what lets the harness replay the paper's
+//! adversarial scenarios — reordered, delayed, or lost control messages —
+//! exactly.
+//!
+//! ## Pieces
+//!
+//! - [`SimTime`] / [`SimDuration`]: integer-nanosecond simulated time.
+//! - [`World`] / [`Simulation`] / [`Scheduler`]: the event loop. Ties are
+//!   broken FIFO, so same-instant events are delivered in scheduling order.
+//! - [`SimRng`]: seedable RNG with the exponential / truncated-normal
+//!   samplers the paper's timing model needs (§9.1).
+//! - [`Samples`]: empirical CDFs, means, confidence intervals for the
+//!   experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod rng;
+mod stats;
+mod time;
+
+pub use engine::{RunOutcome, Scheduler, Simulation, World};
+pub use rng::SimRng;
+pub use stats::Samples;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,235 @@
+//! Deterministic random number generation for simulations.
+//!
+//! Every run of the simulator is parameterized by a single `u64` seed; all
+//! stochastic model components (link jitter, rule-install delays, traffic
+//! matrices) draw from [`SimRng`] so a run can be replayed exactly.
+//!
+//! The exponential and truncated-normal samplers used by the timing model
+//! (paper §9.1) live here so the workspace does not need a distributions
+//! dependency beyond `rand` itself.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Seedable RNG wrapper with the samplers the timing model needs.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create an RNG from a run seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child RNG. Used to give each model component its
+    /// own stream so adding draws in one component does not perturb another.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        // splitmix-style mixing of a fresh draw with the salt.
+        let mut z = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::new(z ^ (z >> 31))
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.uniform_f64()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn uniform_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "uniform_usize over empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform_f64() < p
+        }
+    }
+
+    /// Exponential draw with the given mean (inverse-CDF method).
+    ///
+    /// The paper's single-flow scenario slows each rule installation by
+    /// `exp(100) ms` (§9.1); this sampler reproduces NumPy's
+    /// `random.exponential(scale)` parameterization (scale = mean).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u = 1.0 - self.uniform_f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Standard normal draw (Box–Muller; one value per call keeps the
+    /// consumption pattern simple and reproducible).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.uniform_f64(); // (0, 1], avoids ln(0)
+        let u2 = self.uniform_f64();
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with mean/std-dev, truncated below at `floor`.
+    ///
+    /// Used for the fat-tree control-plane latency model (Huang et al.):
+    /// resampling would bias the mean, so we clamp, which preserves ordering
+    /// of draws across seeds.
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, floor: f64) -> f64 {
+        (mean + std_dev * self.standard_normal()).max(floor)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_usize(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick one element uniformly at random. Returns `None` on empty input.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.uniform_usize(items.len())])
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_later_parent_use() {
+        let mut parent1 = SimRng::new(7);
+        let mut child1 = parent1.fork(1);
+        let c1: Vec<u64> = (0..8).map(|_| child1.next_u64()).collect();
+
+        let mut parent2 = SimRng::new(7);
+        let mut child2 = parent2.fork(1);
+        // Consuming the parent afterwards must not change the child's stream.
+        let _ = parent2.next_u64();
+        let c2: Vec<u64> = (0..8).map(|_| child2.next_u64()).collect();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::new(99);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(100.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean was {mean}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..10_000 {
+            assert!(rng.exponential(3.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_clamped_respects_floor() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..10_000 {
+            assert!(rng.normal_clamped(35.0, 15.0, 1.0) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = SimRng::new(123);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean was {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance was {var}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(0);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::new(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = SimRng::new(3);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        assert_eq!(rng.choose(&[7u8]), Some(&7));
+    }
+
+    #[test]
+    fn uniform_range_degenerate() {
+        let mut rng = SimRng::new(3);
+        assert_eq!(rng.uniform_range(5.0, 5.0), 5.0);
+        assert_eq!(rng.uniform_range(5.0, 4.0), 5.0);
+        let x = rng.uniform_range(1.0, 2.0);
+        assert!((1.0..2.0).contains(&x));
+    }
+}

@@ -1,0 +1,196 @@
+//! Small statistics helpers shared by the experiment harness: empirical CDFs,
+//! means with confidence intervals, percentile extraction.
+
+/// An empirical distribution over f64 samples.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Samples {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Samples {
+    /// Empty sample set.
+    pub fn new() -> Self {
+        Samples { values: Vec::new() }
+    }
+
+    /// Build from a slice of values.
+    pub fn from_values(values: &[f64]) -> Self {
+        Samples {
+            values: values.to_vec(),
+        }
+    }
+
+    /// Record a sample.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw values in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Arithmetic mean; 0.0 for an empty set.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation (n-1 denominator); 0.0 for fewer than two
+    /// samples.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let ss: f64 = self.values.iter().map(|v| (v - mean) * (v - mean)).sum();
+        (ss / (n as f64 - 1.0)).sqrt()
+    }
+
+    /// Half-width of the 99% confidence interval on the mean (normal
+    /// approximation, z = 2.576), as used for Fig. 8's error bars.
+    pub fn ci99_half_width(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        2.576 * self.std_dev() / (n as f64).sqrt()
+    }
+
+    /// Percentile in `[0, 100]` by linear interpolation between order
+    /// statistics; 0.0 for an empty set.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let p = p.clamp(0.0, 100.0) / 100.0;
+        let idx = p * (sorted.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = idx - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Minimum; 0.0 for an empty set.
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Maximum; 0.0 for an empty set.
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// The empirical CDF as `(value, cumulative_probability)` points, sorted
+    /// by value — exactly the series a Fig. 7-style plot consumes.
+    pub fn cdf_points(&self) -> Vec<(f64, f64)> {
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let n = sorted.len() as f64;
+        sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let s = Samples::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_set_is_safe() {
+        let s = Samples::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert!(s.cdf_points().is_empty());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Samples::from_iter([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 40.0);
+        assert_eq!(s.median(), 25.0);
+        assert!((s.percentile(25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let s = Samples::from_iter([3.0, 1.0, 2.0]);
+        let cdf = s.cdf_points();
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0], (1.0, 1.0 / 3.0));
+        assert_eq!(cdf[2], (3.0, 1.0));
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn min_max() {
+        let s = Samples::from_iter([5.0, -1.0, 3.0]);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let small = Samples::from_iter((0..10).map(|i| i as f64));
+        let big = Samples::from_iter((0..1000).map(|i| (i % 10) as f64));
+        assert!(big.ci99_half_width() < small.ci99_half_width());
+    }
+}

@@ -1,0 +1,23 @@
+//! # p4update-messages
+//!
+//! The message vocabulary of the P4Update framework and its baselines:
+//!
+//! - the paper's four control messages — [`Frm`] (flow report), [`Uim`]
+//!   (update indication), [`Unm`] (update notification), [`Ufm`] (update
+//!   feedback) — plus [`DataPacket`] for data-plane traffic (§6);
+//! - fixed-layout wire encodings ([`wire`]) so the pipeline crate can parse
+//!   and deparse real byte buffers, and fault injection can corrupt them;
+//! - the control messages of the two baseline systems the evaluation
+//!   compares against (Central and ez-Segway, §9.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod types;
+pub mod wire;
+
+pub use types::{
+    CentralMsg, Cleanup, DataPacket, EzMsg, EzPriority, EzSegmentKind, Frm, Message, RejectReason, Ufm,
+    UfmStatus, Uim, Unm, UnmLayer, UpdateKind,
+};
+pub use wire::{decode, encode, WireError, WireType};

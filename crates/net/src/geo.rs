@@ -1,0 +1,81 @@
+//! Geographic latency derivation.
+//!
+//! WAN link latencies in the evaluation are computed from the great-circle
+//! distance between sites at a propagation speed of 2·10⁵ km/s — the speed of
+//! light in optical fiber (paper §9.1).
+
+use p4update_des::SimDuration;
+
+/// Mean Earth radius in kilometers.
+const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Signal propagation speed through optical fiber, km/s (paper §9.1:
+/// "around 2 · 10e6 km/s" is a typo for 2·10⁵ km/s, ~⅔ c).
+pub const FIBER_SPEED_KM_PER_S: f64 = 2.0e5;
+
+/// Great-circle (haversine) distance between two `(lat, lon)` points in km.
+pub fn haversine_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (lat1, lon1) = (a.0.to_radians(), a.1.to_radians());
+    let (lat2, lon2) = (b.0.to_radians(), b.1.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// One-way propagation latency between two sites. A floor of 0.05 ms models
+/// equipment delay on co-located sites so that no link is ever free.
+pub fn propagation_latency(a: (f64, f64), b: (f64, f64)) -> SimDuration {
+    let km = haversine_km(a, b);
+    let secs = km / FIBER_SPEED_KM_PER_S;
+    SimDuration::from_secs_f64(secs.max(0.000_05))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = (48.137, 11.575); // Munich
+        assert!(haversine_km(p, p) < 1e-9);
+    }
+
+    #[test]
+    fn munich_to_dortmund_is_about_477_km() {
+        let munich = (48.137, 11.575);
+        let dortmund = (51.514, 7.466);
+        let d = haversine_km(munich, dortmund);
+        assert!((d - 477.0).abs() < 15.0, "distance was {d}");
+    }
+
+    #[test]
+    fn new_york_to_london_is_about_5570_km() {
+        let ny = (40.713, -74.006);
+        let london = (51.507, -0.128);
+        let d = haversine_km(ny, london);
+        assert!((d - 5570.0).abs() < 60.0, "distance was {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = (35.0, 139.0);
+        let b = (-33.9, 151.2);
+        assert!((haversine_km(a, b) - haversine_km(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transatlantic_latency_is_tens_of_ms() {
+        let ny = (40.713, -74.006);
+        let london = (51.507, -0.128);
+        let lat = propagation_latency(ny, london).as_millis_f64();
+        // ~5570 km / 2e5 km/s ≈ 27.9 ms
+        assert!((lat - 27.9).abs() < 1.0, "latency was {lat} ms");
+    }
+
+    #[test]
+    fn latency_has_a_floor() {
+        let p = (0.0, 0.0);
+        assert!(propagation_latency(p, p).as_nanos() > 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Packet-level pipeline primitives: clone sessions and resubmission.
+//!
+//! The P4Update prototype "intensively uses clone to generate packets in the
+//! data plane" (§2.1) — UNMs and UFMs are clones of flow packets — and uses
+//! packet *resubmission* to wait in the data plane: "as the P4 data plane
+//! does not natively support a timer for waiting, P4Update uses packet
+//! resubmission to check repeatedly if UIM has arrived while processing UNM"
+//! (Appendix B). This module models both mechanisms and counts their use so
+//! the overhead ablation bench can report them.
+
+/// A clone session: binds a session id to an output port, the BMv2
+/// mechanism behind the "one-to-one port-based forwarding table used to
+/// determine the clone session of a UNM" (§8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CloneSession {
+    /// Session identifier (as configured by the control plane).
+    pub id: u32,
+    /// Egress port the cloned packet leaves through.
+    pub port: u32,
+}
+
+/// Clone engine: session table plus a counter of generated clones.
+#[derive(Debug, Clone, Default)]
+pub struct CloneEngine {
+    sessions: Vec<CloneSession>,
+    clones_generated: u64,
+}
+
+impl CloneEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Configure (or reconfigure) a session.
+    pub fn configure(&mut self, session: CloneSession) {
+        if let Some(s) = self.sessions.iter_mut().find(|s| s.id == session.id) {
+            *s = session;
+        } else {
+            self.sessions.push(session);
+        }
+    }
+
+    /// Resolve a session to its port and count the clone. `None` when the
+    /// session was never configured (the clone is silently dropped, as on
+    /// BMv2).
+    pub fn clone_to(&mut self, session_id: u32) -> Option<u32> {
+        let port = self
+            .sessions
+            .iter()
+            .find(|s| s.id == session_id)
+            .map(|s| s.port)?;
+        self.clones_generated += 1;
+        Some(port)
+    }
+
+    /// Total clones generated (overhead metric).
+    pub fn clones_generated(&self) -> u64 {
+        self.clones_generated
+    }
+}
+
+/// Resubmission queue: packets parked in the pipeline awaiting a condition.
+///
+/// Real resubmission spins the packet through the pipeline; the simulation
+/// parks the payload keyed by what it waits for and drains it when the
+/// condition arrives, counting iterations the real switch would have spent.
+#[derive(Debug, Clone)]
+pub struct ResubmitQueue<K, P> {
+    waiting: Vec<(K, P)>,
+    resubmissions: u64,
+    /// Cap on parked packets, after which new arrivals are dropped —
+    /// models the finite buffer of the software switch.
+    capacity: usize,
+}
+
+impl<K: PartialEq + Clone, P> ResubmitQueue<K, P> {
+    /// Queue with the given buffer capacity.
+    pub fn new(capacity: usize) -> Self {
+        ResubmitQueue {
+            waiting: Vec::new(),
+            resubmissions: 0,
+            capacity,
+        }
+    }
+
+    /// Park a payload waiting on `key`. Returns `false` (payload dropped)
+    /// when the buffer is full.
+    pub fn park(&mut self, key: K, payload: P) -> bool {
+        if self.waiting.len() >= self.capacity {
+            return false;
+        }
+        self.resubmissions += 1;
+        self.waiting.push((key, payload));
+        true
+    }
+
+    /// Drain every payload waiting on `key`, in arrival order.
+    pub fn release(&mut self, key: &K) -> Vec<P> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.waiting.len() {
+            if &self.waiting[i].0 == key {
+                out.push(self.waiting.remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of parked payloads.
+    pub fn parked(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Total park operations (overhead metric: each would have been at
+    /// least one resubmission pass on BMv2).
+    pub fn resubmissions(&self) -> u64 {
+        self.resubmissions
+    }
+
+    /// Inspect parked keys (diagnostics).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.waiting.iter().map(|(k, _)| k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_sessions_resolve_ports() {
+        let mut eng = CloneEngine::new();
+        eng.configure(CloneSession { id: 1, port: 7 });
+        eng.configure(CloneSession { id: 2, port: 9 });
+        assert_eq!(eng.clone_to(1), Some(7));
+        assert_eq!(eng.clone_to(2), Some(9));
+        assert_eq!(eng.clone_to(3), None);
+        assert_eq!(eng.clones_generated(), 2);
+    }
+
+    #[test]
+    fn clone_session_reconfiguration() {
+        let mut eng = CloneEngine::new();
+        eng.configure(CloneSession { id: 1, port: 7 });
+        eng.configure(CloneSession { id: 1, port: 8 });
+        assert_eq!(eng.clone_to(1), Some(8));
+    }
+
+    #[test]
+    fn park_and_release_in_order() {
+        let mut q: ResubmitQueue<u32, &str> = ResubmitQueue::new(10);
+        assert!(q.park(5, "a"));
+        assert!(q.park(6, "b"));
+        assert!(q.park(5, "c"));
+        assert_eq!(q.parked(), 3);
+        assert_eq!(q.release(&5), vec!["a", "c"]);
+        assert_eq!(q.parked(), 1);
+        assert_eq!(q.release(&5), Vec::<&str>::new());
+        assert_eq!(q.release(&6), vec!["b"]);
+        assert_eq!(q.resubmissions(), 3);
+    }
+
+    #[test]
+    fn full_buffer_drops() {
+        let mut q: ResubmitQueue<u32, u8> = ResubmitQueue::new(2);
+        assert!(q.park(1, 1));
+        assert!(q.park(1, 2));
+        assert!(!q.park(1, 3));
+        assert_eq!(q.parked(), 2);
+        assert_eq!(q.release(&1), vec![1, 2]);
+    }
+
+    #[test]
+    fn keys_iterates_waiting() {
+        let mut q: ResubmitQueue<u32, u8> = ResubmitQueue::new(4);
+        q.park(1, 0);
+        q.park(2, 0);
+        let keys: Vec<u32> = q.keys().copied().collect();
+        assert_eq!(keys, vec![1, 2]);
+    }
+}

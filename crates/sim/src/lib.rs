@@ -1,0 +1,20 @@
+//! # p4update-sim
+//!
+//! The experiment harness: assembles switches (with any system's update
+//! logic), the controller, and the timing model of §9.1 into a
+//! deterministic discrete-event world; injects faults; checks the paper's
+//! three consistency properties after every event; and collects the
+//! measurements every figure is built from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod config;
+pub mod metrics;
+pub mod network;
+
+pub use checker::{check, FlowSpec, Violation};
+pub use config::{ControlLatency, FaultConfig, InstallDelay, SimConfig, TimingConfig};
+pub use metrics::Metrics;
+pub use network::{simulation, ControllerImpl, Event, NetworkSim, System};

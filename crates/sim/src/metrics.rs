@@ -1,0 +1,184 @@
+//! Measurement collection: packet traces (Fig. 2's sequence plots), flow
+//! update completion times (Fig. 4 / Fig. 7), alarms, and drop accounting.
+
+use p4update_dataplane::DropReason;
+use p4update_des::SimTime;
+use p4update_messages::{DataPacket, RejectReason};
+use p4update_net::{FlowId, NodeId, Version};
+
+/// All measurements of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Every data-packet arrival at a switch: `(time, switch, packet)`.
+    /// Fig. 2b plots these for one switch.
+    pub arrivals: Vec<(SimTime, NodeId, DataPacket)>,
+    /// Deliveries at egress switches (Fig. 2c).
+    pub deliveries: Vec<(SimTime, NodeId, DataPacket)>,
+    /// Dropped packets with reasons (TTL deaths in the Fig. 2 loop).
+    pub drops: Vec<(SimTime, NodeId, DataPacket, DropReason)>,
+    /// Flow update completions as learned by the controller.
+    pub completions: Vec<(SimTime, FlowId, Version)>,
+    /// Alarms the controller received.
+    pub alarms: Vec<(SimTime, FlowId, RejectReason)>,
+    /// Trigger times per batch index.
+    pub triggers: Vec<(SimTime, usize)>,
+    /// Control messages lost to fault injection.
+    pub control_drops: u64,
+    /// Update-notification deliveries per switch (diagnostics for loss
+    /// recovery analysis).
+    pub unm_deliveries: Vec<(SimTime, NodeId)>,
+}
+
+impl Metrics {
+    pub(crate) fn record_arrival(&mut self, t: SimTime, node: NodeId, pkt: DataPacket) {
+        self.arrivals.push((t, node, pkt));
+    }
+
+    pub(crate) fn record_delivery(&mut self, t: SimTime, node: NodeId, pkt: DataPacket) {
+        self.deliveries.push((t, node, pkt));
+    }
+
+    pub(crate) fn record_drop(
+        &mut self,
+        t: SimTime,
+        node: NodeId,
+        pkt: DataPacket,
+        reason: DropReason,
+    ) {
+        self.drops.push((t, node, pkt, reason));
+    }
+
+    pub(crate) fn record_completion(&mut self, t: SimTime, flow: FlowId, version: Version) {
+        self.completions.push((t, flow, version));
+    }
+
+    pub(crate) fn record_alarm(&mut self, t: SimTime, flow: FlowId, reason: RejectReason) {
+        self.alarms.push((t, flow, reason));
+    }
+
+    pub(crate) fn record_trigger(&mut self, t: SimTime, batch: usize) {
+        self.triggers.push((t, batch));
+    }
+
+    /// Completion time of `flow` at `version`, if it completed.
+    pub fn completion_of(&self, flow: FlowId, version: Version) -> Option<SimTime> {
+        self.completions
+            .iter()
+            .find(|&&(_, f, v)| f == flow && v == version)
+            .map(|&(t, _, _)| t)
+    }
+
+    /// Completion time of the *last* flow among `flows` (the multi-flow
+    /// metric), if all completed.
+    pub fn last_completion(&self, flows: &[FlowId]) -> Option<SimTime> {
+        let mut last = SimTime::ZERO;
+        for &f in flows {
+            let t = self
+                .completions
+                .iter()
+                .filter(|&&(_, g, _)| g == f)
+                .map(|&(t, _, _)| t)
+                .max()?;
+            last = last.max(t);
+        }
+        Some(last)
+    }
+
+    /// Arrival times and sequence numbers at one switch (a Fig. 2b series).
+    pub fn arrivals_at(&self, node: NodeId) -> Vec<(SimTime, u32)> {
+        self.arrivals
+            .iter()
+            .filter(|&&(_, n, _)| n == node)
+            .map(|&(t, _, p)| (t, p.seq))
+            .collect()
+    }
+
+    /// Count of packets seen more than once at a switch (looped packets).
+    pub fn duplicate_arrivals_at(&self, node: NodeId) -> usize {
+        let mut seen = std::collections::BTreeMap::new();
+        for &(_, n, p) in &self.arrivals {
+            if n == node {
+                *seen.entry((p.flow, p.seq)).or_insert(0usize) += 1;
+            }
+        }
+        seen.values().filter(|&&c| c > 1).count()
+    }
+
+    /// Sequence numbers delivered at a switch, ordered by time.
+    pub fn delivered_seqs_at(&self, node: NodeId) -> Vec<u32> {
+        let mut v: Vec<(SimTime, u32)> = self
+            .deliveries
+            .iter()
+            .filter(|&&(_, n, _)| n == node)
+            .map(|&(t, _, p)| (t, p.seq))
+            .collect();
+        v.sort();
+        v.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// Number of TTL-expiry drops (loop deaths).
+    pub fn ttl_deaths(&self) -> usize {
+        self.drops
+            .iter()
+            .filter(|&&(_, _, _, r)| r == DropReason::TtlExpired)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u32) -> DataPacket {
+        DataPacket {
+            flow: FlowId(0),
+            seq,
+            ttl: 64, tag: None }
+    }
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn completion_lookup() {
+        let mut m = Metrics::default();
+        m.record_completion(at(5), FlowId(1), Version(2));
+        m.record_completion(at(9), FlowId(2), Version(2));
+        assert_eq!(m.completion_of(FlowId(1), Version(2)), Some(at(5)));
+        assert_eq!(m.completion_of(FlowId(1), Version(3)), None);
+        assert_eq!(
+            m.last_completion(&[FlowId(1), FlowId(2)]),
+            Some(at(9))
+        );
+        assert_eq!(m.last_completion(&[FlowId(1), FlowId(3)]), None);
+    }
+
+    #[test]
+    fn duplicate_arrival_counting() {
+        let mut m = Metrics::default();
+        m.record_arrival(at(1), NodeId(1), pkt(10));
+        m.record_arrival(at(2), NodeId(1), pkt(10));
+        m.record_arrival(at(3), NodeId(1), pkt(11));
+        m.record_arrival(at(3), NodeId(2), pkt(12));
+        assert_eq!(m.duplicate_arrivals_at(NodeId(1)), 1);
+        assert_eq!(m.duplicate_arrivals_at(NodeId(2)), 0);
+        assert_eq!(m.arrivals_at(NodeId(1)).len(), 3);
+    }
+
+    #[test]
+    fn delivered_seqs_are_time_ordered() {
+        let mut m = Metrics::default();
+        m.record_delivery(at(9), NodeId(4), pkt(2));
+        m.record_delivery(at(3), NodeId(4), pkt(1));
+        assert_eq!(m.delivered_seqs_at(NodeId(4)), vec![1, 2]);
+    }
+
+    #[test]
+    fn ttl_deaths_count_only_ttl_drops() {
+        let mut m = Metrics::default();
+        m.record_drop(at(1), NodeId(0), pkt(1), DropReason::TtlExpired);
+        m.record_drop(at(2), NodeId(0), pkt(2), DropReason::NoRule);
+        assert_eq!(m.ttl_deaths(), 1);
+    }
+}

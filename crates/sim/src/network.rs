@@ -1,0 +1,685 @@
+//! The simulated network: switches, the controller, links, and the timing
+//! model, assembled into a [`p4update_des::World`].
+//!
+//! Every system under test (P4Update, ez-Segway, Central) runs on this
+//! exact substrate — same link latencies, same per-switch serial
+//! processing, same controller queueing — so measured differences come
+//! from protocol structure alone.
+
+use crate::checker::{check, FlowSpec, Violation};
+use crate::config::{ms, ControlLatency, InstallDelay, SimConfig};
+use crate::metrics::Metrics;
+use p4update_baselines::{CentralController, CentralSwitchLogic, EzController, EzSwitchLogic};
+use p4update_core::{P4UpdateController, P4UpdateLogic, Strategy};
+use p4update_dataplane::{
+    ControllerLogic, CtrlEffect, Effect, Endpoint, Switch, SwitchLogic,
+};
+use p4update_des::{SimDuration, SimRng, SimTime, Scheduler, Simulation, World};
+use p4update_messages::{DataPacket, Message};
+use p4update_net::{
+    latency_distances_from, FlowId, FlowUpdate, NodeId, Path, Topology, Version,
+};
+use std::collections::BTreeMap;
+
+/// Which system drives the updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// P4Update with the given mechanism strategy (§7.5).
+    P4Update(Strategy),
+    /// ez-Segway; `congestion` enables its centralized priority
+    /// computation.
+    EzSegway {
+        /// Compute the global congestion dependency graph in the control
+        /// plane (Fig. 8b's expensive path).
+        congestion: bool,
+    },
+    /// Central; `congestion` makes rounds capacity-aware.
+    Central {
+        /// Enforce capacity feasibility when scheduling rounds.
+        congestion: bool,
+    },
+}
+
+/// The controller implementations, kept as an enum so scenario code can
+/// reach system-specific state (e.g., flow registration).
+pub enum ControllerImpl {
+    /// P4Update's controller.
+    P4(P4UpdateController),
+    /// ez-Segway's controller.
+    Ez(EzController),
+    /// Central's controller.
+    Central(CentralController),
+}
+
+impl ControllerImpl {
+    fn as_logic(&mut self) -> &mut dyn ControllerLogic {
+        match self {
+            ControllerImpl::P4(c) => c,
+            ControllerImpl::Ez(c) => c,
+            ControllerImpl::Central(c) => c,
+        }
+    }
+}
+
+/// Events of the simulated network.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A message reaches a switch.
+    DeliverToSwitch {
+        /// Destination switch.
+        node: NodeId,
+        /// Sender.
+        from: Endpoint,
+        /// Payload.
+        msg: Message,
+    },
+    /// A message reaches the controller's input queue.
+    DeliverToController {
+        /// Sending switch.
+        from: NodeId,
+        /// Payload.
+        msg: Message,
+    },
+    /// The controller finishes processing one queued message.
+    ControllerExec {
+        /// Sending switch.
+        from: NodeId,
+        /// Payload.
+        msg: Message,
+    },
+    /// A rule write completes at a switch.
+    InstallComplete {
+        /// The switch.
+        node: NodeId,
+        /// Flow whose rule was written.
+        flow: FlowId,
+        /// Continuation token.
+        token: u64,
+    },
+    /// A data packet enters the network at its ingress.
+    InjectPacket {
+        /// Ingress switch.
+        node: NodeId,
+        /// The packet.
+        pkt: DataPacket,
+        /// Destination hint for flow reports.
+        egress_hint: NodeId,
+    },
+    /// The controller is asked to start a batch of updates.
+    Trigger {
+        /// Index into the scheduled batches.
+        batch: usize,
+    },
+    /// Resubmission poll round at a switch: every parked message spins
+    /// through the pipeline once, consuming forwarding capacity.
+    PollTick {
+        /// The polling switch.
+        node: NodeId,
+    },
+    /// The controller's loss-recovery timer fires (§11).
+    ControllerTimer,
+}
+
+/// The simulated network world.
+pub struct NetworkSim {
+    topo: Topology,
+    /// Per-switch chassis.
+    pub switches: BTreeMap<NodeId, Switch>,
+    /// The controller.
+    pub controller: ControllerImpl,
+    config: SimConfig,
+    rng: SimRng,
+    /// Latency (ms) of the shortest path between every node pair.
+    sp_latency_ms: Vec<Vec<f64>>,
+    /// Hop count of the latency-shortest path between every node pair.
+    sp_hops: Vec<Vec<u32>>,
+    /// Serial-processing horizon per switch.
+    switch_busy: BTreeMap<NodeId, SimTime>,
+    /// Switches with an armed resubmission poll loop.
+    polling: std::collections::BTreeSet<NodeId>,
+    /// Serial-processing horizon of the controller.
+    ctrl_busy: SimTime,
+    /// Update batches by trigger index.
+    batches: Vec<Vec<FlowUpdate>>,
+    /// Flow specs for the checker and metrics.
+    pub flows: BTreeMap<FlowId, FlowSpec>,
+    /// Collected measurements.
+    pub metrics: Metrics,
+    /// Violations found by per-event checking (paranoid mode).
+    pub violations: Vec<(SimTime, Violation)>,
+}
+
+impl NetworkSim {
+    /// Assemble a network for `system` on `topo`. `free_capacity` seeds the
+    /// congestion-aware baselines' controller view (from
+    /// `p4update_traffic::Workload::free_capacity`).
+    pub fn new(
+        topo: Topology,
+        system: System,
+        config: SimConfig,
+        free_capacity: Option<BTreeMap<(NodeId, NodeId), f64>>,
+    ) -> Self {
+        let mut rng = SimRng::new(config.seed);
+        let switches: BTreeMap<NodeId, Switch> = topo
+            .node_ids()
+            .map(|id| {
+                let logic: Box<dyn SwitchLogic + Send> = match system {
+                    System::P4Update(_) => Box::new(P4UpdateLogic::new()),
+                    System::EzSegway { .. } => Box::new(EzSwitchLogic::new()),
+                    System::Central { .. } => Box::new(CentralSwitchLogic::new()),
+                };
+                (id, Switch::new(id, &topo, logic))
+            })
+            .collect();
+        let controller = match system {
+            System::P4Update(strategy) => {
+                // The NIB lets the controller set up paths for flows the
+                // data plane reports via FRMs (§6).
+                ControllerImpl::P4(P4UpdateController::new(strategy).with_nib(topo.clone()))
+            }
+            System::EzSegway { congestion } => ControllerImpl::Ez(if congestion {
+                EzController::with_congestion(free_capacity.clone().unwrap_or_default())
+            } else {
+                EzController::new()
+            }),
+            System::Central { congestion } => ControllerImpl::Central(if congestion {
+                CentralController::with_congestion(free_capacity.clone().unwrap_or_default())
+            } else {
+                CentralController::new()
+            }),
+        };
+        let n = topo.node_count();
+        let mut sp_latency_ms = Vec::with_capacity(n);
+        let mut sp_hops = Vec::with_capacity(n);
+        for v in topo.node_ids() {
+            sp_latency_ms.push(latency_distances_from(&topo, v));
+            // Hop counts via BFS (good enough for relay cost estimation).
+            let mut hops = vec![u32::MAX; n];
+            hops[v.index()] = 0;
+            let mut queue = std::collections::VecDeque::from([v]);
+            while let Some(x) = queue.pop_front() {
+                for &(y, _) in topo.neighbors(x) {
+                    if hops[y.index()] == u32::MAX {
+                        hops[y.index()] = hops[x.index()] + 1;
+                        queue.push_back(y);
+                    }
+                }
+            }
+            sp_hops.push(hops);
+        }
+        let _ = rng.fork(0); // reserve a stream for future model components
+        NetworkSim {
+            switch_busy: topo.node_ids().map(|id| (id, SimTime::ZERO)).collect(),
+            polling: std::collections::BTreeSet::new(),
+            topo,
+            switches,
+            controller,
+            config,
+            rng,
+            sp_latency_ms,
+            sp_hops,
+            ctrl_busy: SimTime::ZERO,
+            batches: Vec::new(),
+            flows: BTreeMap::new(),
+            metrics: Metrics::default(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Install a flow's initial path directly (scenario bootstrap: the old
+    /// configuration pre-exists the experiment), reserving capacities and
+    /// registering the flow with the controller.
+    pub fn install_initial_path(&mut self, flow: FlowId, path: &Path, size: f64) {
+        assert!(path.validate(&self.topo), "initial path must be routable");
+        for (i, &node) in path.nodes().iter().enumerate() {
+            let next = path.nodes().get(i + 1).copied();
+            let prev = i.checked_sub(1).map(|j| path.nodes()[j]);
+            let dist = (path.nodes().len() - 1 - i) as u32;
+            let sw = self.switches.get_mut(&node).expect("node exists");
+            sw.state.uib.update(flow, |e| {
+                e.applied_version = Version(1);
+                e.applied_distance = dist;
+                e.active_next_hop = next;
+                e.active_upstream = prev;
+                e.old_version = Version(1);
+                e.old_distance = dist;
+                e.flow_size = size;
+                e.last_update_type = Some(p4update_messages::UpdateKind::Single);
+            });
+            if let Some(next) = next {
+                let ok = sw.state.reserve_capacity(next, size);
+                assert!(ok, "initial allocation exceeds capacity at {node}");
+            }
+        }
+        if let ControllerImpl::P4(c) = &mut self.controller {
+            c.register_flow(flow, Version(1));
+        }
+        self.flows.insert(
+            flow,
+            FlowSpec {
+                ingress: path.ingress(),
+                egress: path.egress(),
+                size,
+            },
+        );
+    }
+
+    /// Enable the §11 two-phase-commit mode on every switch: ingresses
+    /// stamp packets with their applied version, and forwarding honors the
+    /// stamps (per-packet path consistency).
+    pub fn enable_two_phase_commit(&mut self) {
+        for sw in self.switches.values_mut() {
+            sw.enable_two_phase_commit();
+        }
+    }
+
+    /// Register an update batch; returns the batch index for
+    /// [`Event::Trigger`].
+    pub fn add_batch(&mut self, updates: Vec<FlowUpdate>) -> usize {
+        self.batches.push(updates);
+        self.batches.len() - 1
+    }
+
+    /// Control latency between the controller and `node` (one way).
+    fn control_latency(&mut self, node: NodeId) -> SimDuration {
+        match self.config.timing.control {
+            ControlLatency::ShortestPathFrom(ctrl) => {
+                ms(self.sp_latency_ms[ctrl.index()][node.index()])
+            }
+            ControlLatency::NormalMs {
+                mean,
+                std_dev,
+                floor_ms,
+            } => ms(self.rng.normal_clamped(mean, std_dev, floor_ms)),
+        }
+    }
+
+    /// Transit time of a switch-to-switch message: one link hop when
+    /// adjacent, otherwise the shortest path plus per-hop relay cost.
+    fn transit(&self, from: NodeId, to: NodeId) -> SimDuration {
+        if let Some(lat) = self.topo.latency_between(from, to) {
+            return lat;
+        }
+        let lat = ms(self.sp_latency_ms[from.index()][to.index()]);
+        let hops = self.sp_hops[from.index()][to.index()].max(1);
+        lat + ms(self.config.timing.relay_hop_ms).saturating_mul(hops as u64)
+    }
+
+    fn install_delay(&mut self) -> SimDuration {
+        match self.config.timing.install {
+            InstallDelay::None => SimDuration::ZERO,
+            InstallDelay::ExponentialMs(mean) => ms(self.rng.exponential(mean)),
+        }
+    }
+
+    fn fault_drop(&mut self, prob: f64) -> bool {
+        prob > 0.0 && self.rng.chance(prob)
+    }
+
+    fn fault_jitter(&mut self) -> SimDuration {
+        let j = self.config.faults.jitter_ms;
+        if j <= 0.0 {
+            SimDuration::ZERO
+        } else {
+            ms(self.rng.uniform_range(0.0, j))
+        }
+    }
+
+    /// Apply a switch's effects, all anchored at `base` (the time its
+    /// pipeline pass finished).
+    fn apply_switch_effects(
+        &mut self,
+        node: NodeId,
+        base: SimTime,
+        effects: Vec<Effect>,
+        sched: &mut Scheduler<Event>,
+    ) {
+        for effect in effects {
+            match effect {
+                Effect::SendSwitch { to, msg } => {
+                    if self.fault_drop(self.config.faults.drop_switch_to_switch) {
+                        self.metrics.control_drops += 1;
+                        continue;
+                    }
+                    let at = base + self.transit(node, to) + self.fault_jitter();
+                    sched.schedule_at(
+                        at,
+                        Event::DeliverToSwitch {
+                            node: to,
+                            from: Endpoint::Switch(node),
+                            msg,
+                        },
+                    );
+                }
+                Effect::SendController { msg } => {
+                    let at = base + self.control_latency(node);
+                    sched.schedule_at(at, Event::DeliverToController { from: node, msg });
+                }
+                Effect::BeginInstall { flow, token } => {
+                    let at = base + self.install_delay();
+                    sched.schedule_at(at, Event::InstallComplete { node, flow, token });
+                }
+                Effect::ForwardData { to, pkt } => {
+                    let at = base
+                        + self
+                            .topo
+                            .latency_between(node, to)
+                            .unwrap_or_else(|| self.transit(node, to));
+                    sched.schedule_at(
+                        at,
+                        Event::DeliverToSwitch {
+                            node: to,
+                            from: Endpoint::Switch(node),
+                            msg: Message::Data(pkt),
+                        },
+                    );
+                }
+                Effect::PacketDelivered { pkt } => {
+                    self.metrics.record_delivery(base, node, pkt);
+                }
+                Effect::PacketDropped { pkt, reason } => {
+                    self.metrics.record_drop(base, node, pkt, reason);
+                }
+            }
+        }
+    }
+
+    /// Apply controller effects: outbound messages serialize on the
+    /// controller's transmit path.
+    fn apply_ctrl_effects(
+        &mut self,
+        base: SimTime,
+        effects: Vec<CtrlEffect>,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let tx = ms(self.config.timing.ctrl_tx_ms);
+        let mut send_time = base;
+        for effect in effects {
+            match effect {
+                CtrlEffect::Send { to, msg } => {
+                    send_time += tx;
+                    if self.fault_drop(self.config.faults.drop_ctrl_to_switch) {
+                        self.metrics.control_drops += 1;
+                        continue;
+                    }
+                    let mut at = send_time + self.control_latency(to) + self.fault_jitter();
+                    if let Some((held, release)) = self.config.faults.hold_ctrl_to {
+                        if held == to {
+                            at = at.max(SimTime::ZERO + release);
+                        }
+                    }
+                    sched.schedule_at(
+                        at,
+                        Event::DeliverToSwitch {
+                            node: to,
+                            from: Endpoint::Controller,
+                            msg,
+                        },
+                    );
+                }
+                CtrlEffect::UpdateComplete { flow, version } => {
+                    self.metrics.record_completion(base, flow, version);
+                }
+                CtrlEffect::AlarmRaised { flow, reason } => {
+                    self.metrics.record_alarm(base, flow, reason);
+                }
+            }
+        }
+        self.ctrl_busy = self.ctrl_busy.max(send_time);
+    }
+
+    /// Arm the resubmission poll loop at a switch that has parked
+    /// messages (Appendix B's data-plane waiting): each poll round charges
+    /// one pipeline pass per parked message.
+    fn arm_poll(&mut self, node: NodeId, sched: &mut Scheduler<Event>) {
+        let interval = self.config.timing.resubmit_poll_ms;
+        if interval <= 0.0 || self.polling.contains(&node) {
+            return;
+        }
+        if self.switches[&node].parked_messages() == 0 {
+            return;
+        }
+        self.polling.insert(node);
+        sched.schedule_in(ms(interval), Event::PollTick { node });
+    }
+
+    fn run_checker(&mut self, now: SimTime) {
+        if !self.config.paranoid {
+            return;
+        }
+        for v in check(&self.topo, &self.switches, &self.flows) {
+            // Deduplicate persistent violations: record state transitions
+            // only.
+            let already = self
+                .violations
+                .iter()
+                .any(|(_, existing)| *existing == v);
+            if !already {
+                self.violations.push((now, v));
+            }
+        }
+    }
+}
+
+impl World for NetworkSim {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+        match event {
+            Event::DeliverToSwitch { node, from, msg } => {
+                // Serial pipeline: requeue while the switch is busy.
+                let busy = self.switch_busy[&node];
+                if busy > now {
+                    sched.schedule_at(busy, Event::DeliverToSwitch { node, from, msg });
+                    return;
+                }
+                let done = now + ms(self.config.timing.switch_proc_ms);
+                self.switch_busy.insert(node, done);
+                if let Message::Data(pkt) = &msg {
+                    self.metrics.record_arrival(now, node, *pkt);
+                }
+                if matches!(msg, Message::Unm(_)) {
+                    self.metrics.unm_deliveries.push((now, node));
+                }
+                let effects = self
+                    .switches
+                    .get_mut(&node)
+                    .expect("switch exists")
+                    .handle_message(now, from, msg);
+                self.apply_switch_effects(node, done, effects, sched);
+                self.arm_poll(node, sched);
+            }
+            Event::InstallComplete { node, flow, token } => {
+                let busy = self.switch_busy[&node];
+                if busy > now {
+                    sched.schedule_at(busy, Event::InstallComplete { node, flow, token });
+                    return;
+                }
+                let done = now + ms(self.config.timing.switch_proc_ms);
+                self.switch_busy.insert(node, done);
+                let effects = self
+                    .switches
+                    .get_mut(&node)
+                    .expect("switch exists")
+                    .handle_installed(now, flow, token);
+                self.apply_switch_effects(node, done, effects, sched);
+                self.arm_poll(node, sched);
+            }
+            Event::InjectPacket {
+                node,
+                pkt,
+                egress_hint,
+            } => {
+                let busy = self.switch_busy[&node];
+                if busy > now {
+                    sched.schedule_at(
+                        busy,
+                        Event::InjectPacket {
+                            node,
+                            pkt,
+                            egress_hint,
+                        },
+                    );
+                    return;
+                }
+                let done = now + ms(self.config.timing.switch_proc_ms);
+                self.switch_busy.insert(node, done);
+                self.metrics.record_arrival(now, node, pkt);
+                let effects = self
+                    .switches
+                    .get_mut(&node)
+                    .expect("switch exists")
+                    .inject_packet(now, pkt, egress_hint);
+                self.apply_switch_effects(node, done, effects, sched);
+            }
+            Event::DeliverToController { from, msg } => {
+                // FIFO single-threaded controller: queue behind the busy
+                // horizon, then serve with an exponential service time.
+                let start = now.max(self.ctrl_busy);
+                let svc = ms(self
+                    .rng
+                    .exponential(self.config.timing.ctrl_service_mean_ms));
+                let done = start + svc;
+                self.ctrl_busy = done;
+                sched.schedule_at(done, Event::ControllerExec { from, msg });
+            }
+            Event::ControllerExec { from, msg } => {
+                let mut out = Vec::new();
+                self.controller.as_logic().on_message(now, from, msg, &mut out);
+                self.apply_ctrl_effects(now, out, sched);
+            }
+            Event::PollTick { node } => {
+                let parked = self.switches[&node].parked_messages();
+                let interval = self.config.timing.resubmit_poll_ms;
+                if parked == 0 || interval <= 0.0 {
+                    self.polling.remove(&node);
+                } else {
+                    // Each parked message makes one pipeline pass.
+                    let start = now.max(self.switch_busy[&node]);
+                    let spin = ms(self.config.timing.switch_proc_ms)
+                        .saturating_mul(parked as u64);
+                    let done = start + spin;
+                    self.switch_busy.insert(node, done);
+                    sched.schedule_at(done + ms(interval), Event::PollTick { node });
+                }
+            }
+            Event::Trigger { batch } => {
+                let updates = self.batches.get(batch).cloned().unwrap_or_default();
+                self.metrics.record_trigger(now, batch);
+                let mut out = Vec::new();
+                let base = now.max(self.ctrl_busy);
+                self.controller
+                    .as_logic()
+                    .start_update(now, &updates, &mut out);
+                self.apply_ctrl_effects(base, out, sched);
+                if self.config.retry_ms > 0.0 {
+                    sched.schedule_in(ms(self.config.retry_ms), Event::ControllerTimer);
+                }
+            }
+            Event::ControllerTimer => {
+                let mut out = Vec::new();
+                let keep_going = self.controller.as_logic().on_timer(now, &mut out);
+                let base = now.max(self.ctrl_busy);
+                self.apply_ctrl_effects(base, out, sched);
+                if keep_going && self.config.retry_ms > 0.0 {
+                    sched.schedule_in(ms(self.config.retry_ms), Event::ControllerTimer);
+                }
+            }
+        }
+        self.run_checker(now);
+    }
+}
+
+/// Convenience: wrap a [`NetworkSim`] into a ready-to-run simulation with
+/// a livelock guard sized for the evaluation scenarios.
+pub fn simulation(world: NetworkSim) -> Simulation<NetworkSim> {
+    Simulation::new(world).with_event_budget(20_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TimingConfig;
+    use p4update_net::topologies;
+
+    fn basic_sim(system: System) -> NetworkSim {
+        let topo = topologies::fig1();
+        let config = SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), 1);
+        NetworkSim::new(topo, system, config, None)
+    }
+
+    #[test]
+    fn initial_path_installs_rules_and_reserves_capacity() {
+        let mut sim = basic_sim(System::P4Update(Strategy::Auto));
+        let path = Path::new(topologies::fig1_old_path());
+        sim.install_initial_path(FlowId(0), &path, 2.0);
+        let e = sim.switches[&NodeId(0)].state.uib.read(FlowId(0));
+        assert_eq!(e.active_next_hop, Some(NodeId(4)));
+        assert_eq!(e.applied_distance, 3);
+        let remaining = sim.switches[&NodeId(0)]
+            .state
+            .remaining_capacity(NodeId(4))
+            .unwrap();
+        assert_eq!(remaining, topologies::DEFAULT_CAPACITY - 2.0);
+        // Egress terminates.
+        assert!(sim.switches[&NodeId(7)].state.uib.read(FlowId(0)).is_egress());
+        // Checker is clean.
+        assert!(check(&sim.topo, &sim.switches, &sim.flows).is_empty());
+    }
+
+    #[test]
+    fn data_packet_traverses_initial_path() {
+        let mut world = basic_sim(System::P4Update(Strategy::Auto));
+        let path = Path::new(topologies::fig1_old_path());
+        world.install_initial_path(FlowId(0), &path, 1.0);
+        let mut sim = simulation(world);
+        sim.schedule_at(
+            SimTime::ZERO,
+            Event::InjectPacket {
+                node: NodeId(0),
+                pkt: DataPacket {
+                    flow: FlowId(0),
+                    seq: 7,
+                    ttl: 64, tag: None },
+                egress_hint: NodeId(7),
+            },
+        );
+        assert!(sim.run().drained());
+        let world = sim.into_world();
+        assert_eq!(world.metrics.deliveries.len(), 1);
+        let (t, node, pkt) = &world.metrics.deliveries[0];
+        assert_eq!(*node, NodeId(7));
+        assert_eq!(pkt.seq, 7);
+        // 3 hops of 20 ms plus processing.
+        assert!(t.as_millis_f64() > 60.0 && t.as_millis_f64() < 70.0, "{t}");
+    }
+
+    #[test]
+    fn all_three_systems_assemble() {
+        for system in [
+            System::P4Update(Strategy::Auto),
+            System::EzSegway { congestion: false },
+            System::Central { congestion: false },
+        ] {
+            let sim = basic_sim(system);
+            assert_eq!(sim.switches.len(), 8);
+        }
+    }
+
+    #[test]
+    fn transit_uses_link_latency_for_neighbors() {
+        let sim = basic_sim(System::P4Update(Strategy::Auto));
+        assert_eq!(
+            sim.transit(NodeId(0), NodeId(1)),
+            SimDuration::from_millis(20)
+        );
+        // Non-adjacent: 0 to 7 over >= 3 links at 20ms plus relay cost.
+        let t = sim.transit(NodeId(0), NodeId(7));
+        assert!(t >= SimDuration::from_millis(60));
+    }
+}

@@ -1,0 +1,127 @@
+//! Gravity-model traffic matrix synthesis (Roughan, CCR '05, as cited in
+//! §9.1): the demand between nodes `i` and `j` is proportional to the
+//! product of per-node masses, here drawn from an exponential distribution
+//! — the standard way to synthesize realistic WAN traffic matrices from
+//! nothing but a node count.
+
+use p4update_des::SimRng;
+use p4update_net::NodeId;
+
+/// A synthesized traffic matrix: `demand[i][j]` is the rate from node `i`
+/// to node `j` (zero on the diagonal), in link-capacity units.
+#[derive(Debug, Clone)]
+pub struct TrafficMatrix {
+    demand: Vec<Vec<f64>>,
+}
+
+impl TrafficMatrix {
+    /// Synthesize a gravity-model matrix for `n` nodes, scaled so the total
+    /// demand equals `total`.
+    pub fn gravity(rng: &mut SimRng, n: usize, total: f64) -> Self {
+        assert!(n >= 2, "a traffic matrix needs at least two nodes");
+        assert!(total > 0.0, "total demand must be positive");
+        // Per-node in/out masses: exponential, as in Roughan's synthesis.
+        let out_mass: Vec<f64> = (0..n).map(|_| rng.exponential(1.0)).collect();
+        let in_mass: Vec<f64> = (0..n).map(|_| rng.exponential(1.0)).collect();
+        let out_sum: f64 = out_mass.iter().sum();
+        let in_sum: f64 = in_mass.iter().sum();
+        let mut demand = vec![vec![0.0; n]; n];
+        let mut sum = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let d = (out_mass[i] / out_sum) * (in_mass[j] / in_sum);
+                    demand[i][j] = d;
+                    sum += d;
+                }
+            }
+        }
+        // Normalize to the requested total.
+        let scale = total / sum;
+        for row in &mut demand {
+            for d in row.iter_mut() {
+                *d *= scale;
+            }
+        }
+        TrafficMatrix { demand }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.demand.len()
+    }
+
+    /// True for a zero-node matrix (never produced by [`Self::gravity`]).
+    pub fn is_empty(&self) -> bool {
+        self.demand.is_empty()
+    }
+
+    /// Demand from `src` to `dst`.
+    pub fn demand(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.demand[src.index()][dst.index()]
+    }
+
+    /// Total demand across all pairs.
+    pub fn total(&self) -> f64 {
+        self.demand.iter().flatten().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_normalized() {
+        let mut rng = SimRng::new(1);
+        let tm = TrafficMatrix::gravity(&mut rng, 10, 500.0);
+        assert!((tm.total() - 500.0).abs() < 1e-6);
+        assert_eq!(tm.len(), 10);
+    }
+
+    #[test]
+    fn diagonal_is_zero_and_entries_nonnegative() {
+        let mut rng = SimRng::new(2);
+        let tm = TrafficMatrix::gravity(&mut rng, 8, 100.0);
+        for i in 0..8 {
+            assert_eq!(tm.demand(NodeId(i), NodeId(i)), 0.0);
+            for j in 0..8 {
+                assert!(tm.demand(NodeId(i), NodeId(j)) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TrafficMatrix::gravity(&mut SimRng::new(7), 6, 10.0);
+        let b = TrafficMatrix::gravity(&mut SimRng::new(7), 6, 10.0);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(a.demand(NodeId(i), NodeId(j)), b.demand(NodeId(i), NodeId(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn demands_are_heterogeneous() {
+        let mut rng = SimRng::new(3);
+        let tm = TrafficMatrix::gravity(&mut rng, 12, 100.0);
+        let mut values: Vec<f64> = (0..12)
+            .flat_map(|i| (0..12).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .map(|(i, j)| tm.demand(NodeId(i), NodeId(j)))
+            .collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Gravity with exponential masses is skewed: the top pair should
+        // carry much more than the median pair.
+        let median = values[values.len() / 2];
+        let max = *values.last().unwrap();
+        assert!(max > 3.0 * median, "max {max} vs median {median}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_node_panics() {
+        TrafficMatrix::gravity(&mut SimRng::new(0), 1, 1.0);
+    }
+}

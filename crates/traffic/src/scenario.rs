@@ -1,0 +1,400 @@
+//! The evaluation's workload scenarios (§9.1):
+//!
+//! - **single flow**: old and new paths intentionally long and triggering
+//!   segmentation, sufficient capacity everywhere;
+//! - **multiple flows**: each node picks a destination uniformly at random,
+//!   old = shortest path, new = 2nd-shortest path, gravity-model sizes
+//!   aiming near capacity, regenerated until the new assignment is
+//!   feasible.
+
+use crate::gravity::TrafficMatrix;
+use p4update_des::SimRng;
+use p4update_net::{k_shortest_paths, FlowId, FlowUpdate, NodeId, Path, Topology};
+use std::collections::BTreeMap;
+
+/// A generated workload: per-flow updates plus the capacity view after the
+/// *old* paths are allocated (the state an experiment starts from).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// One update per flow.
+    pub updates: Vec<FlowUpdate>,
+    /// Free capacity per directed link once every old path is allocated.
+    pub free_capacity: BTreeMap<(NodeId, NodeId), f64>,
+}
+
+/// Allocate old paths against link capacities; `None` if any link
+/// overflows.
+fn allocate_old_paths(
+    topo: &Topology,
+    updates: &[FlowUpdate],
+) -> Option<BTreeMap<(NodeId, NodeId), f64>> {
+    let mut free: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
+    for link in topo.links() {
+        free.insert((link.a, link.b), link.capacity);
+        free.insert((link.b, link.a), link.capacity);
+    }
+    for u in updates {
+        if let Some(old) = &u.old_path {
+            for e in old.edges() {
+                let c = free.get_mut(&e).expect("path edges are links");
+                *c -= u.size;
+                if *c < -1e-9 {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(free)
+}
+
+/// Check that migrating every flow to its new path ends feasible (the
+/// generator's acceptance criterion: "if the new flow paths are not
+/// feasible w.r.t. capacity, we repeat the traffic generation").
+fn new_paths_feasible(topo: &Topology, updates: &[FlowUpdate]) -> bool {
+    let mut free: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
+    for link in topo.links() {
+        free.insert((link.a, link.b), link.capacity);
+        free.insert((link.b, link.a), link.capacity);
+    }
+    for u in updates {
+        for e in u.new_path.edges() {
+            let c = free.get_mut(&e).expect("path edges are links");
+            *c -= u.size;
+            if *c < -1e-9 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Count the backward transitions among the nodes shared by old and new
+/// path: consecutive shared nodes (in new-path order) whose old-path
+/// distance to the egress *increases* create the loop potential the
+/// dual-layer mechanism exists for (§3.2).
+fn backward_transitions(old: &Path, new: &Path) -> usize {
+    let shared: Vec<u32> = new
+        .nodes()
+        .iter()
+        .filter_map(|&n| old.distance_to_egress(n))
+        .collect();
+    shared.windows(2).filter(|w| w[0] <= w[1]).count()
+}
+
+/// Total number of fresh interior nodes inside *backward* segments: the
+/// nodes whose rules the dual-layer mechanism can pre-install while the
+/// segment waits for its loop dependency — the paper's headline
+/// parallelization gain (§3.2, §10: "can also update the forwarding rules
+/// of nodes inside backward segments right away").
+fn backward_interior_size(old: &Path, new: &Path) -> usize {
+    // Positions of shared (gateway) nodes on the new path with their
+    // old-path distances.
+    let gateways: Vec<(usize, u32)> = new
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &n)| old.distance_to_egress(n).map(|d| (i, d)))
+        .collect();
+    gateways
+        .windows(2)
+        .filter(|w| w[0].1 <= w[1].1)
+        .map(|w| w[1].0 - w[0].0 - 1)
+        .sum()
+}
+
+/// Concatenate path legs, dropping the duplicated junction nodes; `None`
+/// when the result revisits a node (not simple).
+fn join_legs(legs: &[&Path]) -> Option<Path> {
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for (i, leg) in legs.iter().enumerate() {
+        let start = usize::from(i > 0);
+        for &n in &leg.nodes()[start..] {
+            if nodes.contains(&n) {
+                return None;
+            }
+            nodes.push(n);
+        }
+    }
+    (nodes.len() >= 2).then(|| Path::new(nodes))
+}
+
+/// Shortest path that avoids `banned` nodes entirely.
+fn shortest_avoiding(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    banned: &[NodeId],
+) -> Option<Path> {
+    if banned.contains(&src) || banned.contains(&dst) || src == dst {
+        return None;
+    }
+    // Reuse Yen's machinery through the public API: compute k-shortest
+    // and filter. Cheaper: a dedicated filtered Dijkstra lives in
+    // p4update-net's internals; here a small local search suffices for the
+    // evaluated topology sizes.
+    // Integer-nanosecond costs keep the heap ordering exact.
+    let mut dist: Vec<u64> = vec![u64::MAX; topo.node_count()];
+    let mut prev: Vec<Option<NodeId>> = vec![None; topo.node_count()];
+    let mut heap = std::collections::BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push((std::cmp::Reverse(0u64), src));
+    while let Some((std::cmp::Reverse(d), v)) = heap.pop() {
+        if v == dst {
+            break;
+        }
+        if d > dist[v.index()] {
+            continue;
+        }
+        for &(w, link) in topo.neighbors(v) {
+            if banned.contains(&w) {
+                continue;
+            }
+            let nd = dist[v.index()].saturating_add(topo.link(link).latency.as_nanos());
+            if nd < dist[w.index()] {
+                dist[w.index()] = nd;
+                prev[w.index()] = Some(v);
+                heap.push((std::cmp::Reverse(nd), w));
+            }
+        }
+    }
+    if dist[dst.index()] == u64::MAX {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur.index()]?;
+        nodes.push(cur);
+    }
+    nodes.reverse();
+    Some(Path::new(nodes))
+}
+
+/// The single-flow scenario. The paper intentionally selects old and new
+/// paths that "traverse a long distance within the topology and ... trigger
+/// segmentation" (§9.1) — i.e., a Fig. 1-shaped pair: the old path visits
+/// intermediate waypoints `x` then `y`; the new path visits `y` then `x`
+/// through fresh detours, producing forward segments plus one backward
+/// segment with freshly-installed interior nodes. This constructor searches
+/// all `(a, x, y, b)` waypoint combinations for the pair maximizing the
+/// backward segment's interior, then total length.
+pub fn single_flow(topo: &Topology) -> FlowUpdate {
+    let nodes: Vec<NodeId> = topo.node_ids().collect();
+    let mut best: Option<((usize, usize, usize), Path, Path)> = None;
+    for &a in &nodes {
+        for &b in &nodes {
+            if a == b {
+                continue;
+            }
+            for &x in &nodes {
+                if x == a || x == b {
+                    continue;
+                }
+                for &y in &nodes {
+                    if y == a || y == b || y == x {
+                        continue;
+                    }
+                    // Old path: a -> x -> y -> b along shortest legs.
+                    let Some(l1) = shortest_avoiding(topo, a, x, &[y, b]) else {
+                        continue;
+                    };
+                    let Some(l2) = shortest_avoiding(topo, x, y, &[a, b]) else {
+                        continue;
+                    };
+                    let Some(l3) = shortest_avoiding(topo, y, b, &[a, x]) else {
+                        continue;
+                    };
+                    let Some(old) = join_legs(&[&l1, &l2, &l3]) else {
+                        continue;
+                    };
+                    // New path: a -> y -> x -> b avoiding the old path's
+                    // interior nodes, so the detours are fresh installs.
+                    let interior: Vec<NodeId> = old
+                        .nodes()
+                        .iter()
+                        .copied()
+                        .filter(|&n| n != a && n != b && n != x && n != y)
+                        .collect();
+                    // Only the backward (y -> x) leg must be fresh; the
+                    // other legs may reuse old-path nodes (they become
+                    // extra gateways, splitting forward segments).
+                    let ban_ay = [x, b];
+                    let Some(n1) = shortest_avoiding(topo, a, y, &ban_ay) else {
+                        continue;
+                    };
+                    let mut ban_yx: Vec<NodeId> = interior.clone();
+                    ban_yx.extend(n1.nodes().iter().copied().filter(|&n| n != y));
+                    ban_yx.push(b);
+                    let Some(n2) = shortest_avoiding(topo, y, x, &ban_yx) else {
+                        continue;
+                    };
+                    let mut ban_xb: Vec<NodeId> = Vec::new();
+                    ban_xb.extend(n1.nodes().iter().copied().filter(|&n| n != x));
+                    ban_xb.extend(n2.nodes().iter().copied().filter(|&n| n != x));
+                    let Some(n3) = shortest_avoiding(topo, x, b, &ban_xb) else {
+                        continue;
+                    };
+                    let Some(new) = join_legs(&[&n1, &n2, &n3]) else {
+                        continue;
+                    };
+                    if backward_transitions(&old, &new) == 0 {
+                        continue;
+                    }
+                    let score = (
+                        backward_interior_size(&old, &new).min(4),
+                        backward_transitions(&old, &new).min(3),
+                        old.hop_count() + new.hop_count(),
+                    );
+                    if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
+                        best = Some((score, old, new));
+                    }
+                }
+            }
+        }
+    }
+    if let Some((_, old, new)) = best {
+        return FlowUpdate::new(FlowId(0), Some(old), new, 1.0);
+    }
+    // Fallback: longest shortest/2nd-shortest pair.
+    let mut fallback: Option<(usize, Path, Path)> = None;
+    for &src in &nodes {
+        for &dst in &nodes {
+            if src >= dst {
+                continue;
+            }
+            let paths = k_shortest_paths(topo, src, dst, 2);
+            if paths.len() < 2 {
+                continue;
+            }
+            let score = paths[0].hop_count() + paths[1].hop_count();
+            if fallback.as_ref().is_none_or(|(s, _, _)| score > *s) {
+                fallback = Some((score, paths[0].clone(), paths[1].clone()));
+            }
+        }
+    }
+    let (_, old, new) = fallback.expect("topology has at least one 2-path pair");
+    FlowUpdate::new(FlowId(0), Some(old), new, 1.0)
+}
+
+/// The multiple-flows scenario: every node picks a distinct destination
+/// uniformly at random; old = shortest path, new = 2nd-shortest; sizes
+/// from a gravity matrix scaled to `load_factor` of the mean link
+/// capacity times the link count (i.e., near capacity at 0.3–0.5 for the
+/// evaluated WANs). Regenerates until old and new assignments are both
+/// feasible.
+pub fn multi_flow(topo: &Topology, rng: &mut SimRng, load_factor: f64) -> Workload {
+    let nodes: Vec<NodeId> = topo.node_ids().collect();
+    let n = nodes.len();
+    let total_capacity: f64 = topo.links().iter().map(|l| l.capacity).sum();
+    let target_total = total_capacity * load_factor;
+
+    for _attempt in 0..200 {
+        let tm = TrafficMatrix::gravity(rng, n, target_total);
+        let mut updates = Vec::new();
+        let mut ok = true;
+        for (i, &src) in nodes.iter().enumerate() {
+            // Uniformly random destination other than the source.
+            let mut dst = nodes[rng.uniform_usize(n)];
+            while dst == src {
+                dst = nodes[rng.uniform_usize(n)];
+            }
+            let paths = k_shortest_paths(topo, src, dst, 2);
+            if paths.len() < 2 {
+                ok = false;
+                break;
+            }
+            let size = tm.demand(src, dst).max(target_total / (n as f64 * n as f64));
+            updates.push(FlowUpdate::new(
+                FlowId(i as u32),
+                Some(paths[0].clone()),
+                paths[1].clone(),
+                size,
+            ));
+        }
+        if !ok {
+            continue;
+        }
+        if let Some(free) = allocate_old_paths(topo, &updates) {
+            if new_paths_feasible(topo, &updates) {
+                return Workload {
+                    updates,
+                    free_capacity: free,
+                };
+            }
+        }
+    }
+    panic!(
+        "could not generate a feasible workload for {} at load {load_factor}",
+        topo.name
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4update_net::topologies;
+
+    #[test]
+    fn single_flow_triggers_segmentation_on_b4() {
+        let topo = topologies::b4();
+        let u = single_flow(&topo);
+        let old = u.old_path.as_ref().expect("has old path");
+        assert!(old.hop_count() >= 2);
+        assert!(u.new_path.hop_count() >= 2);
+        assert_ne!(old, &u.new_path);
+        assert!(old.validate(&topo));
+        assert!(u.new_path.validate(&topo));
+    }
+
+    #[test]
+    fn single_flow_is_deterministic() {
+        let topo = topologies::internet2();
+        let a = single_flow(&topo);
+        let b = single_flow(&topo);
+        assert_eq!(a.new_path, b.new_path);
+        assert_eq!(a.old_path, b.old_path);
+    }
+
+    #[test]
+    fn multi_flow_generates_one_update_per_node() {
+        let topo = topologies::b4();
+        let mut rng = SimRng::new(11);
+        let w = multi_flow(&topo, &mut rng, 0.3);
+        assert_eq!(w.updates.len(), topo.node_count());
+        for u in &w.updates {
+            assert!(u.old_path.as_ref().unwrap().validate(&topo));
+            assert!(u.new_path.validate(&topo));
+            assert!(u.size > 0.0);
+            assert_eq!(
+                u.old_path.as_ref().unwrap().ingress(),
+                u.new_path.ingress()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_flow_old_allocation_fits_capacity() {
+        let topo = topologies::internet2();
+        let mut rng = SimRng::new(5);
+        let w = multi_flow(&topo, &mut rng, 0.3);
+        for (_, &free) in &w.free_capacity {
+            assert!(free >= -1e-9, "over-allocated link: {free}");
+        }
+    }
+
+    #[test]
+    fn multi_flow_new_assignment_is_feasible() {
+        let topo = topologies::b4();
+        let mut rng = SimRng::new(9);
+        let w = multi_flow(&topo, &mut rng, 0.3);
+        assert!(new_paths_feasible(&topo, &w.updates));
+    }
+
+    #[test]
+    fn fat_tree_multi_flow_works() {
+        let topo = topologies::fat_tree(4);
+        let mut rng = SimRng::new(13);
+        let w = multi_flow(&topo, &mut rng, 0.2);
+        assert_eq!(w.updates.len(), topo.node_count());
+    }
+}

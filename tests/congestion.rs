@@ -1,0 +1,117 @@
+//! Congestion freedom under multi-flow updates (§7.4, §A.2, Corollaries
+//! 1–4): random near-capacity workloads on the evaluation topologies, with
+//! the checker armed on every event. Capacity may defer moves, but actual
+//! link usage must never exceed capacity at any instant, for either
+//! mechanism.
+
+use p4update::core::Strategy;
+use p4update::des::{SimDuration, SimRng, SimTime};
+use p4update::net::{topologies, FlowId};
+use p4update::sim::{
+    simulation, Event, NetworkSim, SimConfig, System, TimingConfig, Violation,
+};
+use p4update::traffic::multi_flow;
+
+fn run_workload(
+    topo: p4update::net::Topology,
+    strategy: Strategy,
+    seed: u64,
+    load: f64,
+) -> NetworkSim {
+    let mut rng = SimRng::new(seed);
+    let workload = multi_flow(&topo, &mut rng, load);
+    let config = SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), seed).paranoid();
+    let mut world = NetworkSim::new(topo, System::P4Update(strategy), config, None);
+    for u in &workload.updates {
+        world.install_initial_path(u.flow, u.old_path.as_ref().expect("generated"), u.size);
+    }
+    let batch = world.add_batch(workload.updates.clone());
+    let mut sim = simulation(world);
+    sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+    let _ = sim.run_until(SimTime::ZERO + SimDuration::from_secs(300));
+    sim.into_world()
+}
+
+/// Corollaries 1 and 3: the data-plane scheduler never lets actual link
+/// usage exceed capacity, under either mechanism, at any point of a
+/// near-capacity multi-flow migration.
+#[test]
+fn multi_flow_migrations_never_violate_capacity() {
+    for (mk_topo, seeds) in [
+        (topologies::b4 as fn() -> p4update::net::Topology, 0..4u64),
+        (topologies::internet2 as fn() -> p4update::net::Topology, 0..4u64),
+    ] {
+        for seed in seeds {
+            for strategy in [Strategy::Auto, Strategy::ForceDual] {
+                let world = run_workload(mk_topo(), strategy, 7000 + seed, 0.55);
+                let congestion: Vec<_> = world
+                    .violations
+                    .iter()
+                    .filter(|(_, v)| matches!(v, Violation::Congestion { .. }))
+                    .collect();
+                assert!(
+                    congestion.is_empty(),
+                    "{} seed {seed} {strategy:?}: {congestion:?}",
+                    world.topology().name
+                );
+                // Loop/blackhole freedom holds alongside (Corollary 1/3).
+                assert!(
+                    world.violations.is_empty(),
+                    "{} seed {seed} {strategy:?}: {:?}",
+                    world.topology().name,
+                    world.violations
+                );
+            }
+        }
+    }
+}
+
+/// Liveness at moderate load: when the transition is realizable, all
+/// flows complete despite deferrals.
+#[test]
+fn moderate_load_multi_flow_completes() {
+    for seed in 0..5u64 {
+        let topo = topologies::b4();
+        let mut rng = SimRng::new(9000 + seed);
+        let workload = multi_flow(&topo, &mut rng, 0.25);
+        let flows: Vec<FlowId> = workload.updates.iter().map(|u| u.flow).collect();
+        let config =
+            SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), seed).paranoid();
+        let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
+        for u in &workload.updates {
+            world.install_initial_path(u.flow, u.old_path.as_ref().expect("generated"), u.size);
+        }
+        let batch = world.add_batch(workload.updates.clone());
+        let mut sim = simulation(world);
+        sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        let _ = sim.run_until(SimTime::ZERO + SimDuration::from_secs(300));
+        let world = sim.into_world();
+        assert!(world.violations.is_empty(), "seed {seed}: {:?}", world.violations);
+        assert!(
+            world.metrics.last_completion(&flows).is_some(),
+            "seed {seed}: some flow never completed at moderate load"
+        );
+    }
+}
+
+/// Fat-tree multi-flow with the DC control-latency model: consistency and
+/// completion hold there too (the Fig. 7b substrate).
+#[test]
+fn fat_tree_multi_flow_is_consistent() {
+    for seed in 0..3u64 {
+        let topo = topologies::fat_tree(4);
+        let mut rng = SimRng::new(11_000 + seed);
+        let workload = multi_flow(&topo, &mut rng, 0.3);
+        let config = SimConfig::new(TimingConfig::fat_tree(), seed).paranoid();
+        let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
+        for u in &workload.updates {
+            world.install_initial_path(u.flow, u.old_path.as_ref().expect("generated"), u.size);
+        }
+        let batch = world.add_batch(workload.updates.clone());
+        let mut sim = simulation(world);
+        sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        let _ = sim.run_until(SimTime::ZERO + SimDuration::from_secs(300));
+        let world = sim.into_world();
+        assert!(world.violations.is_empty(), "seed {seed}: {:?}", world.violations);
+    }
+}

@@ -1,0 +1,154 @@
+//! The verification model (§5) under adversity: control messages dropped,
+//! jittered (reordered), or held back. P4Update's partial implementations
+//! must stay consistent in every case (the checker runs after every
+//! event); the Fig. 2 scenario shows ez-Segway does not have this
+//! property.
+
+use p4update::core::Strategy;
+use p4update::des::{SimDuration, SimTime};
+use p4update::net::{topologies, FlowId, FlowUpdate, NodeId, Path, Version};
+use p4update::sim::{
+    simulation, Event, FaultConfig, NetworkSim, SimConfig, System, TimingConfig, Violation,
+};
+
+fn fig1_update() -> FlowUpdate {
+    FlowUpdate::new(
+        FlowId(0),
+        Some(Path::new(topologies::fig1_old_path())),
+        Path::new(topologies::fig1_new_path()),
+        1.0,
+    )
+}
+
+fn run_with_faults(strategy: Strategy, seed: u64, faults: FaultConfig) -> NetworkSim {
+    let topo = topologies::fig1();
+    let config = SimConfig::new(TimingConfig::wan_single_flow(topo.centroid()), seed)
+        .paranoid()
+        .with_faults(faults);
+    let mut world = NetworkSim::new(topo, System::P4Update(strategy), config, None);
+    world.install_initial_path(FlowId(0), &Path::new(topologies::fig1_old_path()), 1.0);
+    let batch = world.add_batch(vec![fig1_update()]);
+    let mut sim = simulation(world);
+    sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+    let _ = sim.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+    sim.into_world()
+}
+
+/// Dropped UIMs stall the affected chain but never produce a loop,
+/// blackhole, or capacity violation (Theorems 1/3 under loss).
+#[test]
+fn uim_loss_never_breaks_consistency() {
+    for strategy in [Strategy::ForceSingle, Strategy::ForceDual] {
+        for seed in 0..20 {
+            let world = run_with_faults(
+                strategy,
+                seed,
+                FaultConfig {
+                    drop_ctrl_to_switch: 0.3,
+                    ..FaultConfig::NONE
+                },
+            );
+            assert!(
+                world.violations.is_empty(),
+                "{strategy:?} seed {seed}: {:?}",
+                world.violations
+            );
+        }
+    }
+}
+
+/// Dropped UNMs likewise stall but never break consistency.
+#[test]
+fn unm_loss_never_breaks_consistency() {
+    for strategy in [Strategy::ForceSingle, Strategy::ForceDual] {
+        for seed in 0..20 {
+            let world = run_with_faults(
+                strategy,
+                seed,
+                FaultConfig {
+                    drop_switch_to_switch: 0.3,
+                    ..FaultConfig::NONE
+                },
+            );
+            assert!(
+                world.violations.is_empty(),
+                "{strategy:?} seed {seed}: {:?}",
+                world.violations
+            );
+        }
+    }
+}
+
+/// Reordering (heavy jitter) may delay but never breaks consistency, and
+/// without loss the update still completes.
+#[test]
+fn reordering_preserves_consistency_and_liveness() {
+    for strategy in [Strategy::ForceSingle, Strategy::ForceDual] {
+        for seed in 0..20 {
+            let world = run_with_faults(
+                strategy,
+                seed,
+                FaultConfig {
+                    jitter_ms: 200.0,
+                    ..FaultConfig::NONE
+                },
+            );
+            assert!(
+                world.violations.is_empty(),
+                "{strategy:?} seed {seed}: {:?}",
+                world.violations
+            );
+            assert!(
+                world
+                    .metrics
+                    .completion_of(FlowId(0), Version(2))
+                    .is_some(),
+                "{strategy:?} seed {seed}: no completion without loss"
+            );
+        }
+    }
+}
+
+/// The Fig. 2 contrast as a checker-level assertion: under the reordered
+/// deployment, ez-Segway's mixed state contains a forwarding loop at some
+/// instant; P4Update's never does.
+#[test]
+fn fig2_reordering_loops_ez_segway_but_not_p4update() {
+    let topo = topologies::fig2_chain();
+    let flow = FlowId(0);
+    let config_a = Path::new(topologies::fig2_config_a());
+    let config_b = Path::new(topologies::fig2_config_b());
+    let config_c = Path::new(topologies::fig2_config_c());
+    let update_c = FlowUpdate::new(flow, Some(config_b), config_c, 1.0);
+    let faults = FaultConfig {
+        hold_ctrl_to: Some((NodeId(2), SimDuration::from_millis(400))),
+        ..FaultConfig::NONE
+    };
+
+    let mut saw = Vec::new();
+    for system in [
+        System::P4Update(Strategy::ForceSingle),
+        System::EzSegway { congestion: false },
+    ] {
+        let config = SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), 1)
+            .paranoid()
+            .with_faults(faults);
+        let mut world = NetworkSim::new(topo.clone(), system, config, None);
+        world.install_initial_path(flow, &config_a, 1.0);
+        let batch = world.add_batch(vec![update_c.clone()]);
+        let mut sim = simulation(world);
+        sim.schedule_at(
+            SimTime::ZERO + SimDuration::from_millis(100),
+            Event::Trigger { batch },
+        );
+        let _ = sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let world = sim.into_world();
+        let looped = world
+            .violations
+            .iter()
+            .any(|(_, v)| matches!(v, Violation::Loop { .. }));
+        saw.push(looped);
+    }
+    assert!(!saw[0], "P4Update must never loop");
+    assert!(saw[1], "ez-Segway must loop in the Fig. 2 scenario");
+}

@@ -1,0 +1,325 @@
+//! Property-based tests (proptest) on the core data structures and
+//! algorithm invariants.
+
+use proptest::prelude::*;
+
+use p4update::core::{label_path, segment_update, verify, verify_sl, Verdict};
+use p4update::dataplane::{FlowPriority, Uib, UibEntry};
+use p4update::des::{Samples, SimRng};
+use p4update::messages::{
+    decode, encode, DataPacket, Frm, Message, RejectReason, Ufm, UfmStatus, Uim, Unm, UnmLayer,
+    UpdateKind,
+};
+use p4update::net::{FlowId, FlowUpdate, NodeId, Path, Version};
+
+// ---------- generators ----------
+
+fn arb_simple_path(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    // A shuffled prefix of 0..32 gives a simple path.
+    (2..=max_len).prop_flat_map(|len| {
+        Just((0u32..32).collect::<Vec<u32>>())
+            .prop_shuffle()
+            .prop_map(move |v| v[..len].to_vec())
+    })
+}
+
+fn arb_update() -> impl Strategy<Value = FlowUpdate> {
+    // Old and new path share ingress and egress; interiors drawn from
+    // disjoint-ish pools so both overlapping and disjoint cases appear.
+    (arb_simple_path(10), any::<u64>()).prop_map(|(nodes, seed)| {
+        let mut rng = SimRng::new(seed);
+        let ingress = nodes[0];
+        let egress = *nodes.last().expect("len >= 2");
+        let interior = &nodes[1..nodes.len() - 1];
+        // Old path: ingress + random subset of interior + egress.
+        let mut old = vec![ingress];
+        for &n in interior {
+            if rng.chance(0.5) {
+                old.push(n);
+            }
+        }
+        old.push(egress);
+        let to_path = |v: &[u32]| Path::new(v.iter().map(|&i| NodeId(i)).collect());
+        FlowUpdate::new(
+            FlowId(0),
+            Some(to_path(&old)),
+            to_path(&nodes),
+            1.0 + rng.uniform_f64(),
+        )
+    })
+}
+
+fn arb_kind() -> impl Strategy<Value = UpdateKind> {
+    prop_oneof![Just(UpdateKind::Single), Just(UpdateKind::Dual)]
+}
+
+fn arb_layer() -> impl Strategy<Value = UnmLayer> {
+    prop_oneof![Just(UnmLayer::Inter), Just(UnmLayer::Intra)]
+}
+
+fn arb_unm() -> impl Strategy<Value = Unm> {
+    (
+        0u32..8,
+        0u32..8,
+        0u32..12,
+        0u32..12,
+        0u32..20,
+        arb_kind(),
+        arb_layer(),
+    )
+        .prop_map(|(vn, vo, dn, dold, counter, kind, layer)| Unm {
+            flow: FlowId(0),
+            v_new: Version(vn),
+            v_old: Version(vo),
+            d_new: dn,
+            d_old: dold,
+            counter,
+            kind,
+            layer,
+        })
+}
+
+fn arb_entry() -> impl Strategy<Value = UibEntry> {
+    (
+        0u32..8,
+        0u32..12,
+        0u32..8,
+        0u32..12,
+        0u32..8,
+        0u32..12,
+        proptest::option::of(arb_kind()),
+        proptest::option::of(arb_kind()),
+        0u32..20,
+    )
+        .prop_map(
+            |(uv, ud, av, ad, ov, od, uk, lt, counter)| UibEntry {
+                uim_version: Version(uv),
+                uim_distance: ud,
+                uim_kind: uk,
+                applied_version: Version(av),
+                applied_distance: ad,
+                old_version: Version(ov),
+                old_distance: od,
+                last_update_type: lt,
+                counter,
+                staged_next_hop: Some(NodeId(1)),
+                ..UibEntry::default()
+            },
+        )
+}
+
+// ---------- properties ----------
+
+proptest! {
+    /// Labels: distances strictly decrease toward the egress; successors
+    /// and upstreams mirror each other; egress-first ordering.
+    #[test]
+    fn labels_are_a_valid_distance_proof(update in arb_update()) {
+        let labels = label_path(&update);
+        prop_assert_eq!(labels.len(), update.new_path.nodes().len());
+        prop_assert_eq!(labels[0].new_distance, 0);
+        prop_assert!(labels[0].next_hop.is_none());
+        for w in labels.windows(2) {
+            prop_assert_eq!(w[1].new_distance, w[0].new_distance + 1);
+            prop_assert_eq!(w[1].next_hop, Some(w[0].node));
+            prop_assert_eq!(w[0].upstream, Some(w[1].node));
+        }
+    }
+
+    /// Segmentation: gateways appear on both paths in new-path order;
+    /// segments tile the new path exactly; interiors are fresh nodes.
+    #[test]
+    fn segmentation_tiles_the_new_path(update in arb_update()) {
+        let seg = segment_update(&update);
+        let old = update.old_path.as_ref().expect("generated with old path");
+        // Gateways lie on both paths.
+        for &g in &seg.gateways {
+            prop_assert!(update.new_path.contains(g));
+            prop_assert!(old.contains(g));
+        }
+        // Tiling.
+        let mut covered = vec![seg.gateways[0]];
+        for s in &seg.segments {
+            prop_assert_eq!(*covered.last().expect("non-empty"), s.ingress_gateway);
+            covered.extend(&s.interior);
+            covered.push(s.egress_gateway);
+            // Interiors are not on the old path.
+            for &i in &s.interior {
+                prop_assert!(!old.contains(i));
+            }
+        }
+        prop_assert_eq!(covered.as_slice(), update.new_path.nodes());
+    }
+
+    /// Algorithm 1 soundness: an accepting verdict implies the version
+    /// matches the staged UIM exactly, the distance label fits
+    /// (`D_n(v) = D_n(UNM) + 1`), and the node had not applied it yet.
+    #[test]
+    fn alg1_accepts_only_consistent_notifications(
+        entry in arb_entry(),
+        unm in arb_unm(),
+    ) {
+        if verify_sl(&entry, &unm) == Verdict::Accept {
+            prop_assert_eq!(unm.v_new, entry.uim_version);
+            prop_assert_eq!(entry.uim_distance, unm.d_new.wrapping_add(1));
+            prop_assert!(entry.applied_version < unm.v_new);
+        }
+    }
+
+    /// Algorithm 2 soundness: every accepting verdict requires the exact
+    /// distance fit; gateway acceptance additionally requires the
+    /// old-distance gate and the single-layer precondition.
+    #[test]
+    fn alg2_accepts_only_consistent_notifications(
+        entry in arb_entry(),
+        unm in arb_unm(),
+    ) {
+        match verify(&entry, &unm) {
+            Verdict::AcceptInterior => {
+                prop_assert_eq!(unm.v_new, entry.uim_version);
+                prop_assert_eq!(entry.uim_distance, unm.d_new.wrapping_add(1));
+                prop_assert!(Version(entry.applied_version.0 + 1) < unm.v_new);
+            }
+            Verdict::AcceptGateway => {
+                prop_assert_eq!(unm.v_new, entry.uim_version);
+                prop_assert_eq!(entry.uim_distance, unm.d_new.wrapping_add(1));
+                prop_assert!(entry.old_distance > unm.d_old);
+                prop_assert!(entry.last_update_type != Some(UpdateKind::Dual));
+            }
+            Verdict::PassAlong
+                if unm.kind == UpdateKind::Dual
+                    && entry.uim_kind == Some(UpdateKind::Dual) =>
+            {
+                // The dual layer only forwards with progress: smaller old
+                // distance or a counter tie-break. (Single-layer
+                // pass-alongs are §11 recovery relays and carry no
+                // inheritance.)
+                prop_assert!(
+                    entry.old_distance > unm.d_old
+                        || (entry.old_distance == unm.d_old && entry.counter > unm.counter)
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Verification is a pure function: same inputs, same verdict.
+    #[test]
+    fn verification_is_deterministic(entry in arb_entry(), unm in arb_unm()) {
+        prop_assert_eq!(verify(&entry, &unm), verify(&entry, &unm));
+    }
+
+    /// Wire codec: every encodable message round-trips bit-exactly.
+    #[test]
+    fn wire_roundtrip(
+        flow in 0u32..1000,
+        seq in any::<u32>(),
+        ttl in any::<u8>(),
+        version in 0u32..100,
+        d in 0u32..64,
+        size in 0.0f64..1e6,
+        kind in arb_kind(),
+        layer in arb_layer(),
+        next in proptest::option::of(0u32..64),
+        up in proptest::option::of(0u32..64),
+    ) {
+        let msgs = vec![
+            Message::Data(DataPacket { flow: FlowId(flow), seq, ttl, tag: None }),
+            Message::Frm(Frm {
+                flow: FlowId(flow),
+                ingress: NodeId(d),
+                egress: NodeId(d + 1),
+            }),
+            Message::Uim(Uim {
+                flow: FlowId(flow),
+                version: Version(version),
+                new_distance: d,
+                flow_size: size,
+                next_hop: next.map(NodeId),
+                upstream: up.map(NodeId),
+                kind,
+            }),
+            Message::Unm(Unm {
+                flow: FlowId(flow),
+                v_new: Version(version),
+                v_old: Version(version / 2),
+                d_new: d,
+                d_old: d / 2,
+                counter: seq % 1000,
+                kind,
+                layer,
+            }),
+            Message::Ufm(Ufm {
+                flow: FlowId(flow),
+                version: Version(version),
+                status: UfmStatus::Alarm(RejectReason::DistanceMismatch),
+                reporter: NodeId(d),
+            }),
+        ];
+        for msg in msgs {
+            let wire = encode(&msg).expect("encodable");
+            prop_assert_eq!(decode(wire).expect("decodable"), msg);
+        }
+    }
+
+    /// UIB storage: write/read round-trips arbitrary entries across many
+    /// flows without crosstalk.
+    #[test]
+    fn uib_roundtrip_without_crosstalk(entries in proptest::collection::vec(arb_entry(), 1..20)) {
+        let mut uib = Uib::new();
+        for (i, e) in entries.iter().enumerate() {
+            uib.write(FlowId(i as u32), *e);
+        }
+        for (i, e) in entries.iter().enumerate() {
+            prop_assert_eq!(uib.read(FlowId(i as u32)), *e);
+        }
+    }
+
+    /// Statistics: percentiles are monotone and bounded by min/max.
+    #[test]
+    fn percentiles_are_monotone(values in proptest::collection::vec(0.0f64..1e9, 1..200)) {
+        let s = Samples::from_iter(values.iter().copied());
+        let p25 = s.percentile(25.0);
+        let p50 = s.percentile(50.0);
+        let p75 = s.percentile(75.0);
+        prop_assert!(p25 <= p50 && p50 <= p75);
+        prop_assert!(s.min() <= p25 && p75 <= s.max());
+        // CDF covers every sample exactly once.
+        prop_assert_eq!(s.cdf_points().len(), values.len());
+    }
+
+    /// Congestion scheduler: drained flows are exactly the parked ones,
+    /// high-priority first.
+    #[test]
+    fn scheduler_drain_is_a_priority_ordered_permutation(
+        flows in proptest::collection::vec(0u32..50, 1..30),
+        high_mask in any::<u64>(),
+    ) {
+        use p4update::core::CongestionScheduler;
+        let mut s = CongestionScheduler::new();
+        let mut unique: Vec<u32> = flows.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        for &f in &flows {
+            s.park(NodeId(0), FlowId(f));
+        }
+        let prio = |f: FlowId| {
+            if high_mask & (1 << (f.0 % 64)) != 0 {
+                FlowPriority::High
+            } else {
+                FlowPriority::Low
+            }
+        };
+        let order = s.drain(NodeId(0), prio);
+        prop_assert_eq!(order.len(), unique.len());
+        // Permutation of the parked set.
+        let mut sorted: Vec<u32> = order.iter().map(|f| f.0).collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, unique);
+        // All highs precede all lows.
+        let first_low = order.iter().position(|&f| prio(f) == FlowPriority::Low);
+        if let Some(pos) = first_low {
+            prop_assert!(order[pos..].iter().all(|&f| prio(f) == FlowPriority::Low));
+        }
+    }
+}
