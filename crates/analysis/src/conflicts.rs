@@ -1,0 +1,150 @@
+//! Cross-update checks over a batch: duplicate/monotone versions (P4U011)
+//! and waits-for cycle detection between concurrent updates (P4U012).
+
+use crate::diagnostic::{Code, Diagnostic};
+use p4update_core::PreparedUpdate;
+use p4update_net::{NodeId, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Duplicate-flow entries in one batch must carry strictly increasing
+/// versions in batch order; otherwise the later plan is dead on arrival
+/// (switches keep the highest version, §3).
+pub(crate) fn check_batch_versions(plans: &[PreparedUpdate], out: &mut Vec<Diagnostic>) {
+    let mut last: BTreeMap<_, _> = BTreeMap::new();
+    for plan in plans {
+        if let Some(prev) = last.insert(plan.flow, plan.version) {
+            if plan.version <= prev {
+                out.push(Diagnostic::new(
+                    Code::BatchVersionConflict,
+                    plan.flow,
+                    None,
+                    format!(
+                        "batch contains {} twice with non-increasing versions \
+                         ({prev} then {})",
+                        plan.flow, plan.version
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Directed edges traversed by a path, as ordered node pairs.
+fn edge_set(path: &p4update_net::Path) -> BTreeSet<(NodeId, NodeId)> {
+    path.edges().collect()
+}
+
+/// Build the waits-for graph over the batch and flag cycles.
+///
+/// Update `A` *waits for* update `B` when some directed link on `A`'s new
+/// path lies on `B`'s old path but not on `B`'s new path: `A` moves onto
+/// capacity that only frees once `B` has moved off it. With a topology in
+/// hand the edge is only real when the link cannot hold both flows at once
+/// (`size(A) + size(B) > capacity`); without one the analyzer is
+/// conservative and assumes contention.
+///
+/// A cycle means every update in it waits on another — the deadlock
+/// ez-Segway resolves with global dependency graphs and P4Update leaves to
+/// the local congestion scheduler (§7.4), which breaks ties by priority but
+/// may serialize or park flows. That is a legal but noteworthy plan, so the
+/// finding is a warning, reported once per cycle at its smallest flow id.
+pub(crate) fn check_waits_for(
+    plans: &[PreparedUpdate],
+    topo: Option<&Topology>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let n = plans.len();
+    if n < 2 {
+        return;
+    }
+    let new_edges: Vec<BTreeSet<(NodeId, NodeId)>> =
+        plans.iter().map(|p| edge_set(&p.update.new_path)).collect();
+    let old_edges: Vec<BTreeSet<(NodeId, NodeId)>> = plans
+        .iter()
+        .map(|p| p.update.old_path.as_ref().map(edge_set).unwrap_or_default())
+        .collect();
+
+    let mut waits_for: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for a in 0..n {
+        for b in 0..n {
+            if a == b || plans[a].flow == plans[b].flow {
+                continue;
+            }
+            let contended = new_edges[a]
+                .iter()
+                .filter(|e| old_edges[b].contains(e) && !new_edges[b].contains(e));
+            for &(x, y) in contended {
+                let over_capacity = match topo.and_then(|t| t.link_between(x, y)) {
+                    Some(link) => {
+                        plans[a].update.size + plans[b].update.size
+                            > topo.expect("link implies topo").link(link).capacity
+                    }
+                    // No topology (or an unroutable edge, flagged elsewhere):
+                    // assume the worst.
+                    None => true,
+                };
+                if over_capacity {
+                    waits_for[a].push(b);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Iterative DFS three-coloring; every back edge closes a cycle.
+    // Reported cycles are canonicalized (rotated to start at the smallest
+    // participant) and deduplicated.
+    let mut reported: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let mut color = vec![0u8; n]; // 0 = white, 1 = on stack, 2 = done
+    let mut stack: Vec<usize> = Vec::new();
+
+    fn dfs(
+        v: usize,
+        waits_for: &[Vec<usize>],
+        color: &mut [u8],
+        stack: &mut Vec<usize>,
+        reported: &mut BTreeSet<Vec<usize>>,
+    ) {
+        color[v] = 1;
+        stack.push(v);
+        for &w in &waits_for[v] {
+            match color[w] {
+                0 => dfs(w, waits_for, color, stack, reported),
+                1 => {
+                    let start = stack.iter().position(|&x| x == w).expect("on stack");
+                    let mut cycle: Vec<usize> = stack[start..].to_vec();
+                    let min_pos = cycle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &x)| x)
+                        .map_or(0, |(i, _)| i);
+                    cycle.rotate_left(min_pos);
+                    reported.insert(cycle);
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        color[v] = 2;
+    }
+
+    for v in 0..n {
+        if color[v] == 0 {
+            dfs(v, &waits_for, &mut color, &mut stack, &mut reported);
+        }
+    }
+
+    for cycle in reported {
+        let flows: Vec<String> = cycle.iter().map(|&i| plans[i].flow.to_string()).collect();
+        out.push(Diagnostic::new(
+            Code::WaitsForCycle,
+            plans[cycle[0]].flow,
+            None,
+            format!(
+                "updates wait on each other's freed capacity in a cycle: {}; \
+                 completion depends on the runtime congestion scheduler",
+                flows.join(" -> ")
+            ),
+        ));
+    }
+}

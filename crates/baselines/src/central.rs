@@ -9,9 +9,7 @@
 //! control-plane round trip plus controller queueing — the overhead
 //! P4Update eliminates.
 
-use p4update_dataplane::{
-    ControllerLogic, CtrlEffect, Effect, Endpoint, SwitchLogic, SwitchState,
-};
+use p4update_dataplane::{ControllerLogic, CtrlEffect, Effect, Endpoint, SwitchLogic, SwitchState};
 use p4update_des::SimTime;
 use p4update_messages::{CentralMsg, Message};
 use p4update_net::{FlowId, FlowUpdate, NodeId, Version};
@@ -75,11 +73,7 @@ impl FlowMigration {
         // must be acyclic from every ruled node (packets can be in flight
         // anywhere on the old path).
         let limit = self.update.new_path.nodes().len()
-            + self
-                .update
-                .old_path
-                .as_ref()
-                .map_or(0, |p| p.nodes().len())
+            + self.update.old_path.as_ref().map_or(0, |p| p.nodes().len())
             + 2;
         let starts: Vec<NodeId> = self
             .update
@@ -414,7 +408,11 @@ mod tests {
         // 0 must wait for 2.
         let mut c = CentralController::new();
         let mut out = Vec::new();
-        c.start_update(SimTime::ZERO, &[update(&[0, 1, 5], &[0, 2, 3, 5])], &mut out);
+        c.start_update(
+            SimTime::ZERO,
+            &[update(&[0, 1, 5], &[0, 2, 3, 5])],
+            &mut out,
+        );
         // Round 1: node 3 can point at 5 (egress, has rule). Node 2's
         // parent 3 has no rule yet; node 0's parent 2 neither.
         assert_eq!(sent_nodes(&out), vec![NodeId(3)]);
@@ -424,7 +422,11 @@ mod tests {
     fn rounds_progress_with_acks() {
         let mut c = CentralController::new();
         let mut out = Vec::new();
-        c.start_update(SimTime::ZERO, &[update(&[0, 1, 5], &[0, 2, 3, 5])], &mut out);
+        c.start_update(
+            SimTime::ZERO,
+            &[update(&[0, 1, 5], &[0, 2, 3, 5])],
+            &mut out,
+        );
         let mut round = 1;
         let mut total_rounds = 1;
         loop {
@@ -479,7 +481,11 @@ mod tests {
     fn stale_acks_are_ignored() {
         let mut c = CentralController::new();
         let mut out = Vec::new();
-        c.start_update(SimTime::ZERO, &[update(&[0, 1, 5], &[0, 2, 3, 5])], &mut out);
+        c.start_update(
+            SimTime::ZERO,
+            &[update(&[0, 1, 5], &[0, 2, 3, 5])],
+            &mut out,
+        );
         out.clear();
         c.on_message(
             SimTime::ZERO,

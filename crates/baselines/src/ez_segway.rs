@@ -10,9 +10,7 @@
 //! and static three-level priorities ([`ez_prepare_congestion`]) — the
 //! computation Fig. 8b shows P4Update avoiding.
 
-use p4update_dataplane::{
-    ControllerLogic, CtrlEffect, Effect, Endpoint, SwitchLogic, SwitchState,
-};
+use p4update_dataplane::{ControllerLogic, CtrlEffect, Effect, Endpoint, SwitchLogic, SwitchState};
 use p4update_des::SimTime;
 use p4update_messages::{EzMsg, EzPriority, EzSegmentKind, Message};
 use p4update_net::{FlowId, FlowUpdate, NodeId, Version};
@@ -146,8 +144,7 @@ pub fn ez_prepare(update: &FlowUpdate, priority: EzPriority) -> EzPlan {
                     priority,
                     size: update.size,
                     notify_on_done,
-                    total_segments: (node == global_ingress && is_finalizer)
-                        .then_some(total),
+                    total_segments: (node == global_ingress && is_finalizer).then_some(total),
                 },
             ));
         }
@@ -348,10 +345,7 @@ impl EzController {
             None => BTreeMap::new(),
         };
         for u in updates {
-            let prio = priorities
-                .get(&u.flow)
-                .copied()
-                .unwrap_or(EzPriority::Low);
+            let prio = priorities.get(&u.flow).copied().unwrap_or(EzPriority::Low);
             let plan = ez_prepare(u, prio);
             self.pending.insert(u.flow);
             for (node, msg) in plan.msgs {
@@ -456,13 +450,7 @@ impl EzSwitchLogic {
 
     /// Start acting on a role whose trigger fired: initiators forward the
     /// chain, others install their rule (capacity permitting).
-    fn act(
-        &mut self,
-        state: &mut SwitchState,
-        flow: FlowId,
-        segment: u32,
-        out: &mut Vec<Effect>,
-    ) {
+    fn act(&mut self, state: &mut SwitchState, flow: FlowId, segment: u32, out: &mut Vec<Effect>) {
         let Some(role) = self.roles.get(&(flow, segment)) else {
             return;
         };
@@ -524,18 +512,13 @@ impl EzSwitchLogic {
         segment: u32,
         out: &mut Vec<Effect>,
     ) {
-        self.done_segments
-            .entry(flow)
-            .or_default()
-            .insert(segment);
+        self.done_segments.entry(flow).or_default().insert(segment);
 
         // Unblock initiators of dependent InLoop segments.
         let ready: Vec<u32> = self
             .roles
             .iter()
-            .filter(|(&(f, _), r)| {
-                f == flow && r.initiator && !r.acted && !r.depends_on.is_empty()
-            })
+            .filter(|(&(f, _), r)| f == flow && r.initiator && !r.acted && !r.depends_on.is_empty())
             .filter(|(_, r)| {
                 let done = self.done_segments.get(&flow).expect("inserted above");
                 r.depends_on.iter().all(|d| done.contains(d))
@@ -564,10 +547,7 @@ impl EzSwitchLogic {
         else {
             return;
         };
-        let done = self
-            .done_segments
-            .get(&flow)
-            .map_or(0, |s| s.len() as u32);
+        let done = self.done_segments.get(&flow).map_or(0, |s| s.len() as u32);
         if done >= total {
             let _ = state;
             out.push(Effect::SendController {
@@ -669,11 +649,7 @@ impl SwitchLogic for EzSwitchLogic {
                     self.early.remove(pos);
                     self.act(state, flow, segment, out);
                 }
-                if let Some(pos) = self
-                    .early_done
-                    .iter()
-                    .position(|&(f, _)| f == flow)
-                {
+                if let Some(pos) = self.early_done.iter().position(|&(f, _)| f == flow) {
                     let (f, s) = self.early_done.remove(pos);
                     self.on_segment_done(state, f, s, out);
                 }

@@ -41,12 +41,12 @@ fn wire_codec(c: &mut Criterion) {
         });
         let wire = encode(msg).expect("encodable");
         group.bench_function(format!("decode_{name}"), |b| {
-            b.iter(|| black_box(decode(black_box(wire.clone())).expect("decodable")))
+            b.iter(|| black_box(decode(black_box(&wire)).expect("decodable")))
         });
         group.bench_function(format!("roundtrip_{name}"), |b| {
             b.iter(|| {
                 let wire = encode(black_box(msg)).expect("encodable");
-                black_box(decode(wire).expect("decodable"))
+                black_box(decode(&wire).expect("decodable"))
             })
         });
     }

@@ -58,6 +58,9 @@ impl Strategy {
 pub struct PreparedUpdate {
     /// Flow being updated.
     pub flow: FlowId,
+    /// The update request this plan was prepared from (kept so static
+    /// analysis can re-derive the expected labels and segmentation).
+    pub update: FlowUpdate,
     /// Version assigned to the new configuration.
     pub version: Version,
     /// Chosen mechanism.
@@ -73,11 +76,7 @@ pub struct PreparedUpdate {
 /// Prepare one flow update: label the new path, segment it, choose the
 /// mechanism, and build all UIMs. This is the complete control-plane
 /// computation P4Update needs per update.
-pub fn prepare_update(
-    update: &FlowUpdate,
-    version: Version,
-    strategy: Strategy,
-) -> PreparedUpdate {
+pub fn prepare_update(update: &FlowUpdate, version: Version, strategy: Strategy) -> PreparedUpdate {
     let seg = segment_update(update);
     let kind = strategy.choose(update, &seg);
     let labels = label_path(update);
@@ -87,6 +86,7 @@ pub fn prepare_update(
         .collect();
     PreparedUpdate {
         flow: update.flow,
+        update: update.clone(),
         version,
         kind,
         segmentation: seg,
@@ -96,10 +96,7 @@ pub fn prepare_update(
 
 /// Prepare a batch of updates (the Fig. 8 measurement unit). Versions are
 /// provided per flow by the caller.
-pub fn prepare_batch(
-    updates: &[(FlowUpdate, Version)],
-    strategy: Strategy,
-) -> Vec<PreparedUpdate> {
+pub fn prepare_batch(updates: &[(FlowUpdate, Version)], strategy: Strategy) -> Vec<PreparedUpdate> {
     updates
         .iter()
         .map(|(u, v)| prepare_update(u, *v, strategy))
@@ -196,6 +193,13 @@ impl P4UpdateController {
     pub fn has_pending(&self) -> bool {
         self.flows.values().any(|r| r.pending.is_some())
     }
+
+    /// The mechanism strategy this controller prepares updates with.
+    /// Exposed so a harness can re-prepare a plan outside the controller
+    /// (e.g. the simulator's debug analysis gate).
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
 }
 
 impl ControllerLogic for P4UpdateController {
@@ -221,7 +225,13 @@ impl ControllerLogic for P4UpdateController {
         }
     }
 
-    fn on_message(&mut self, _now: SimTime, _from: NodeId, msg: Message, out: &mut Vec<CtrlEffect>) {
+    fn on_message(
+        &mut self,
+        _now: SimTime,
+        _from: NodeId,
+        msg: Message,
+        out: &mut Vec<CtrlEffect>,
+    ) {
         match msg {
             Message::Ufm(ufm) => match ufm.status {
                 UfmStatus::Success => {
@@ -260,13 +270,10 @@ impl ControllerLogic for P4UpdateController {
                 let Some(topo) = &self.nib else {
                     return; // no topology view: ignore reports
                 };
-                let Some(path) =
-                    p4update_net::shortest_path(topo, frm.ingress, frm.egress)
-                else {
+                let Some(path) = p4update_net::shortest_path(topo, frm.ingress, frm.egress) else {
                     return;
                 };
-                let update =
-                    FlowUpdate::new(frm.flow, None, path, self.default_flow_size);
+                let update = FlowUpdate::new(frm.flow, None, path, self.default_flow_size);
                 self.start_update(_now, &[update], out);
             }
             _ => {}

@@ -45,12 +45,7 @@ pub fn label_path(update: &FlowUpdate) -> Vec<NodeLabel> {
 /// Build the UIM for one labeled node (§6: "the control plane ... decides
 /// the update and verification contents, e.g., distance, for each flow and
 /// encapsulates them into the UIM").
-pub fn uim_for(
-    update: &FlowUpdate,
-    label: &NodeLabel,
-    version: Version,
-    kind: UpdateKind,
-) -> Uim {
+pub fn uim_for(update: &FlowUpdate, label: &NodeLabel, version: Version, kind: UpdateKind) -> Uim {
     Uim {
         flow: update.flow,
         version,

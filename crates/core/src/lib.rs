@@ -33,8 +33,7 @@ pub mod verify;
 
 pub use congestion::{Admission, BlockReason, CongestionScheduler};
 pub use controller::{
-    prepare_batch, prepare_update, P4UpdateController, PreparedUpdate, Strategy,
-    SL_NODE_THRESHOLD,
+    prepare_batch, prepare_update, P4UpdateController, PreparedUpdate, Strategy, SL_NODE_THRESHOLD,
 };
 pub use label::{label_path, old_distances, uim_for, NodeLabel};
 pub use segment::{segment_update, Segment, SegmentDir, Segmentation};

@@ -105,10 +105,16 @@ pub fn segment_update(update: &FlowUpdate) -> Segmentation {
     for &n in new_nodes {
         if let Some(d) = on_old(n) {
             gateways.push((n, d));
-        } else if update.old_path.is_none() && (n == update.new_path.ingress() || n == update.new_path.egress()) {
+        } else if update.old_path.is_none()
+            && (n == update.new_path.ingress() || n == update.new_path.egress())
+        {
             // Fresh deployment: endpoints act as gateways with synthetic
             // old distances (ingress "far", egress 0).
-            let d = if n == update.new_path.egress() { 0 } else { u32::MAX };
+            let d = if n == update.new_path.egress() {
+                0
+            } else {
+                u32::MAX
+            };
             gateways.push((n, d));
         }
     }
@@ -118,7 +124,10 @@ pub fn segment_update(update: &FlowUpdate) -> Segmentation {
         let (g_in, d_in) = w[0];
         let (g_out, d_out) = w[1];
         let i_in = update.new_path.position(g_in).expect("gateway on new path");
-        let i_out = update.new_path.position(g_out).expect("gateway on new path");
+        let i_out = update
+            .new_path
+            .position(g_out)
+            .expect("gateway on new path");
         let interior = new_nodes[i_in + 1..i_out].to_vec();
         segments.push(Segment {
             ingress_gateway: g_in,
@@ -181,10 +190,7 @@ mod tests {
         assert_eq!((s1.ingress_old_distance, s1.egress_old_distance), (1, 2));
 
         let s2 = &seg.segments[2];
-        assert_eq!(
-            s2.nodes(),
-            vec![NodeId(4), NodeId(5), NodeId(6), NodeId(7)]
-        );
+        assert_eq!(s2.nodes(), vec![NodeId(4), NodeId(5), NodeId(6), NodeId(7)]);
         assert_eq!(s2.direction(), SegmentDir::Forward);
 
         assert_eq!(seg.backward_count(), 1);
@@ -238,7 +244,7 @@ mod tests {
             seg.gateways,
             vec![NodeId(0), NodeId(2), NodeId(1), NodeId(3)]
         );
-        let dirs: Vec<SegmentDir> = seg.segments.iter().map(|s| s.direction()).collect();
+        let dirs: Vec<SegmentDir> = seg.segments.iter().map(super::Segment::direction).collect();
         // 0(d=3) -> 2(d=1): forward; 2(d=1) -> 1(d=2): backward;
         // 1(d=2) -> 3(d=0): forward.
         assert_eq!(

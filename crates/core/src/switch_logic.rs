@@ -19,9 +19,7 @@ use crate::congestion::{Admission, CongestionScheduler};
 use crate::verify::{verify, Verdict};
 use p4update_dataplane::{Effect, Endpoint, FlowPriority, SwitchLogic, SwitchState, UibEntry};
 use p4update_des::SimTime;
-use p4update_messages::{
-    Message, RejectReason, Ufm, UfmStatus, Uim, Unm, UnmLayer, UpdateKind,
-};
+use p4update_messages::{Message, RejectReason, Ufm, UfmStatus, Uim, Unm, UnmLayer, UpdateKind};
 use p4update_net::{FlowId, NodeId, Version};
 use p4update_pipeline::ResubmitQueue;
 use std::collections::{BTreeMap, BTreeSet};
@@ -227,7 +225,11 @@ impl P4UpdateLogic {
                     // Keep the inheritance layer at the previous
                     // configuration: the chain's old distances gate the
                     // backward segments.
-                    e.apply_dual(prev.applied_version, prev.applied_distance.min(prev.old_distance), 0)
+                    e.apply_dual(
+                        prev.applied_version,
+                        prev.applied_distance.min(prev.old_distance),
+                        0,
+                    );
                 }
             });
             self.start_chains(state, &uim, out);
@@ -348,7 +350,13 @@ impl P4UpdateLogic {
                         // The chain reached the (already updated) ingress:
                         // report completion (deduplicated per version).
                         if unm.layer == UnmLayer::Inter || unm.kind == UpdateKind::Single {
-                            self.send_ufm(state, unm.flow, e.applied_version, UfmStatus::Success, out);
+                            self.send_ufm(
+                                state,
+                                unm.flow,
+                                e.applied_version,
+                                UfmStatus::Success,
+                                out,
+                            );
                         }
                     }
                 }
@@ -610,9 +618,8 @@ impl SwitchLogic for P4UpdateLogic {
 
         // Release capacity on the link the flow moves away from.
         let old_link = entry.active_next_hop;
-        let moves_off = entry.has_active_rule()
-            && old_link.is_some()
-            && old_link != entry.staged_next_hop;
+        let moves_off =
+            entry.has_active_rule() && old_link.is_some() && old_link != entry.staged_next_hop;
         if moves_off {
             state.release_capacity(old_link.expect("checked"), entry.flow_size);
         }
@@ -683,9 +690,7 @@ impl P4UpdateLogic {
         link: NodeId,
         out: &mut Vec<Effect>,
     ) {
-        let candidates = self
-            .scheduler
-            .drain(link, |f| state.uib.read(f).priority);
+        let candidates = self.scheduler.drain(link, |f| state.uib.read(f).priority);
         for f in candidates {
             if let Some(bm) = self.blocked.remove(&f) {
                 self.process_unm(now, state, Endpoint::Switch(state.id), bm.unm, out);
@@ -939,10 +944,7 @@ mod tests {
             layer: UnmLayer::Intra,
         });
         let effects = v1.handle_message(SimTime::ZERO, Endpoint::Switch(NodeId(2)), unm);
-        assert!(
-            effects.is_empty(),
-            "deferred, not installed: {effects:?}"
-        );
+        assert!(effects.is_empty(), "deferred, not installed: {effects:?}");
         assert_eq!(v1.state.uib.read(FlowId(1)).applied_version, Version::NONE);
     }
 

@@ -101,7 +101,10 @@ mod tests {
         assert_eq!(s.remaining_capacity(NodeId(0)), Some(10.0));
         assert_eq!(s.remaining_capacity(NodeId(2)), Some(4.0));
         assert_eq!(s.remaining_capacity(NodeId(1)), None);
-        assert_eq!(s.neighbors().collect::<Vec<_>>(), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(
+            s.neighbors().collect::<Vec<_>>(),
+            vec![NodeId(0), NodeId(2)]
+        );
     }
 
     #[test]

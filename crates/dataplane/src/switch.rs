@@ -52,7 +52,9 @@ impl Switch {
         let mut out = Vec::new();
         match msg {
             Message::Data(pkt) => self.forward_data(pkt, &mut out),
-            other => self.logic.on_control(now, &mut self.state, from, other, &mut out),
+            other => self
+                .logic
+                .on_control(now, &mut self.state, from, other, &mut out),
         }
         out
     }
@@ -80,7 +82,12 @@ impl Switch {
     /// Unknown flows are reported to the controller via FRM — the ingress
     /// clones the first packet and stamps the flow id (Appendix B) — and the
     /// packet itself blackholes until rules exist.
-    pub fn inject_packet(&mut self, _now: SimTime, mut pkt: DataPacket, egress_hint: NodeId) -> Vec<Effect> {
+    pub fn inject_packet(
+        &mut self,
+        _now: SimTime,
+        mut pkt: DataPacket,
+        egress_hint: NodeId,
+    ) -> Vec<Effect> {
         self.state.pipeline_passes += 1;
         let mut out = Vec::new();
         let entry = self.state.uib.read(pkt.flow);
@@ -201,14 +208,20 @@ mod tests {
         DataPacket {
             flow: FlowId(flow),
             seq: 0,
-            ttl, tag: None }
+            ttl,
+            tag: None,
+        }
     }
 
     #[test]
     fn unknown_flow_blackholes() {
         let t = line3();
         let mut s = sw(&t, 1);
-        let effects = s.handle_message(SimTime::ZERO, Endpoint::Switch(NodeId(0)), Message::Data(pkt(5, 64)));
+        let effects = s.handle_message(
+            SimTime::ZERO,
+            Endpoint::Switch(NodeId(0)),
+            Message::Data(pkt(5, 64)),
+        );
         assert_eq!(
             effects,
             vec![Effect::PacketDropped {
@@ -226,7 +239,11 @@ mod tests {
             e.applied_version = Version(1);
             e.active_next_hop = Some(NodeId(2));
         });
-        let effects = s.handle_message(SimTime::ZERO, Endpoint::Switch(NodeId(0)), Message::Data(pkt(5, 64)));
+        let effects = s.handle_message(
+            SimTime::ZERO,
+            Endpoint::Switch(NodeId(0)),
+            Message::Data(pkt(5, 64)),
+        );
         assert_eq!(
             effects,
             vec![Effect::ForwardData {
@@ -244,7 +261,11 @@ mod tests {
             e.applied_version = Version(1);
             e.active_next_hop = Some(NodeId(2));
         });
-        let effects = s.handle_message(SimTime::ZERO, Endpoint::Switch(NodeId(0)), Message::Data(pkt(5, 0)));
+        let effects = s.handle_message(
+            SimTime::ZERO,
+            Endpoint::Switch(NodeId(0)),
+            Message::Data(pkt(5, 0)),
+        );
         assert_eq!(
             effects,
             vec![Effect::PacketDropped {
@@ -262,7 +283,11 @@ mod tests {
             e.applied_version = Version(1);
             e.active_next_hop = None;
         });
-        let effects = s.handle_message(SimTime::ZERO, Endpoint::Switch(NodeId(1)), Message::Data(pkt(5, 60)));
+        let effects = s.handle_message(
+            SimTime::ZERO,
+            Endpoint::Switch(NodeId(1)),
+            Message::Data(pkt(5, 60)),
+        );
         assert_eq!(effects, vec![Effect::PacketDelivered { pkt: pkt(5, 60) }]);
     }
 
@@ -272,8 +297,16 @@ mod tests {
         let mut s = sw(&t, 0);
         let effects = s.inject_packet(SimTime::ZERO, pkt(9, 64), NodeId(2));
         assert_eq!(effects.len(), 2);
-        assert!(matches!(effects[0], Effect::SendController { msg: Message::Frm(f) } if f.flow == FlowId(9) && f.ingress == NodeId(0) && f.egress == NodeId(2)));
-        assert!(matches!(effects[1], Effect::PacketDropped { reason: DropReason::NoRule, .. }));
+        assert!(
+            matches!(effects[0], Effect::SendController { msg: Message::Frm(f) } if f.flow == FlowId(9) && f.ingress == NodeId(0) && f.egress == NodeId(2))
+        );
+        assert!(matches!(
+            effects[1],
+            Effect::PacketDropped {
+                reason: DropReason::NoRule,
+                ..
+            }
+        ));
         // Second injection: no new FRM.
         let effects = s.inject_packet(SimTime::ZERO, pkt(9, 64), NodeId(2));
         assert_eq!(effects.len(), 1);
@@ -301,7 +334,11 @@ mod tests {
     fn pipeline_passes_are_counted() {
         let t = line3();
         let mut s = sw(&t, 0);
-        s.handle_message(SimTime::ZERO, Endpoint::Controller, Message::Data(pkt(1, 1)));
+        s.handle_message(
+            SimTime::ZERO,
+            Endpoint::Controller,
+            Message::Data(pkt(1, 1)),
+        );
         s.handle_installed(SimTime::ZERO, FlowId(1), 0);
         assert_eq!(s.state.pipeline_passes, 2);
     }

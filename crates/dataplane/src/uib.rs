@@ -147,7 +147,12 @@ impl UibEntry {
     /// Apply the staged configuration as a **dual-layer** flip, inheriting
     /// the sender's old distance/version from the verified UNM
     /// (Alg. 2 lines 11–16 and 20–23).
-    pub fn apply_dual(&mut self, inherited_old_version: Version, inherited_old_distance: u32, counter: u32) {
+    pub fn apply_dual(
+        &mut self,
+        inherited_old_version: Version,
+        inherited_old_distance: u32,
+        counter: u32,
+    ) {
         self.save_previous_generation();
         self.applied_version = self.uim_version;
         self.applied_distance = self.uim_distance;

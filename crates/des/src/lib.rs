@@ -20,11 +20,14 @@
 //!   samplers the paper's timing model needs (§9.1).
 //! - [`Samples`]: empirical CDFs, means, confidence intervals for the
 //!   experiment harness.
+//! - [`propcheck`]: a tiny in-tree randomized property-test driver (seeded
+//!   cases, reproducible failures) used by the repository's test suites.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;
+pub mod propcheck;
 mod rng;
 mod stats;
 mod time;

@@ -10,12 +10,10 @@ use core::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time, in nanoseconds since simulation start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimTime {

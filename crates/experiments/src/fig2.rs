@@ -93,7 +93,12 @@ pub fn run_system(system: System, seed: u64) -> Fig2Series {
             SimTime::from_nanos(t),
             Event::InjectPacket {
                 node: NodeId(0),
-                pkt: DataPacket { flow, seq, ttl: TTL, tag: None },
+                pkt: DataPacket {
+                    flow,
+                    seq,
+                    ttl: TTL,
+                    tag: None,
+                },
                 egress_hint: NodeId(4),
             },
         );
@@ -134,8 +139,11 @@ pub fn run(seed: u64) -> (Fig2Series, Fig2Series) {
 pub fn print(seed: u64) {
     let (p4, ez) = run(seed);
     println!("# Fig. 2 — inconsistent update scenario (§4.1)");
-    println!("# window: update (c) at {:.1}s, delayed messages released at {:.1}s",
-        T_UPDATE_C_MS as f64 / 1000.0, T_RELEASE_MS as f64 / 1000.0);
+    println!(
+        "# window: update (c) at {:.1}s, delayed messages released at {:.1}s",
+        T_UPDATE_C_MS as f64 / 1000.0,
+        T_RELEASE_MS as f64 / 1000.0
+    );
     for s in [&p4, &ez] {
         // Injection count: ceil of window / interval (the stream starts at
         // the window's first instant).

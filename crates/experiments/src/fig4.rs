@@ -20,11 +20,7 @@ fn paths() -> (Path, Path, Path) {
     // Initial config V1, the complex U2 (interior chains plus a backward
     // segment: the gateway order on the new path reverses v3 and v1), and
     // the simple direct U3.
-    (
-        n(&[0, 1, 3, 5]),
-        n(&[0, 2, 4, 3, 1, 5]),
-        n(&[0, 5]),
-    )
+    (n(&[0, 1, 3, 5]), n(&[0, 2, 4, 3, 1, 5]), n(&[0, 5]))
 }
 
 /// One run: returns U3's completion time in milliseconds (measured from

@@ -138,14 +138,7 @@ pub fn run(panel: Panel, runs: u64) -> Vec<PanelSeries> {
     for seed in 0..runs {
         let (updates, free) = panel_updates(panel, seed);
         for (i, system) in systems(panel.is_multi()).into_iter().enumerate() {
-            let t = run_update_once(
-                &topo,
-                system,
-                timing,
-                2_000 + seed,
-                &updates,
-                free.clone(),
-            );
+            let t = run_update_once(&topo, system, timing, 2_000 + seed, &updates, free.clone());
             if let Some(t) = t {
                 series[i].samples.push(t);
             }

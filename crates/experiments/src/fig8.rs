@@ -90,8 +90,7 @@ pub fn measure(topo: &Topology, congestion: bool, runs: u64) -> RatioRow {
                 let prios = ez_prepare_congestion(group, &cap);
                 std::hint::black_box(&prios);
                 for u in group {
-                    let plan =
-                        ez_prepare(u, *prios.get(&u.flow).unwrap_or(&EzPriority::Low));
+                    let plan = ez_prepare(u, *prios.get(&u.flow).unwrap_or(&EzPriority::Low));
                     std::hint::black_box(&plan);
                 }
             } else {
@@ -124,7 +123,11 @@ pub fn run(congestion: bool, runs: u64) -> Vec<RatioRow> {
 /// Print the figure's data as text rows.
 pub fn print(congestion: bool, runs: u64) {
     let rows = run(congestion, runs);
-    let which = if congestion { "8b (with congestion freedom)" } else { "8a (w/o congestion freedom)" };
+    let which = if congestion {
+        "8b (with congestion freedom)"
+    } else {
+        "8a (w/o congestion freedom)"
+    };
     println!("# Fig. {which} — CP preparation runtime ratio DL-P4Update / ez-Segway");
     println!("# {runs} runs of a {BATCH}-update batch; 99% CI half-width in parentheses");
     for r in rows {

@@ -60,7 +60,7 @@ pub fn run_update_once(
     world
         .metrics
         .last_completion(&flows)
-        .map(|t| t.as_millis_f64())
+        .map(p4update_des::SimTime::as_millis_f64)
 }
 
 /// The version an update completes at for freshly-installed old paths

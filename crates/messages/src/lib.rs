@@ -17,7 +17,7 @@ pub mod types;
 pub mod wire;
 
 pub use types::{
-    CentralMsg, Cleanup, DataPacket, EzMsg, EzPriority, EzSegmentKind, Frm, Message, RejectReason, Ufm,
-    UfmStatus, Uim, Unm, UnmLayer, UpdateKind,
+    CentralMsg, Cleanup, DataPacket, EzMsg, EzPriority, EzSegmentKind, Frm, Message, RejectReason,
+    Ufm, UfmStatus, Uim, Unm, UnmLayer, UpdateKind,
 };
 pub use wire::{decode, encode, WireError, WireType};

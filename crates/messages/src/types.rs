@@ -9,7 +9,6 @@ use p4update_net::{FlowId, NodeId, Version};
 /// register `t` ("last update type") because a dual-layer update requires
 /// the previous update of the flow to have been single-layer (§7.3, §11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum UpdateKind {
     /// SL-P4Update: one sequential verification chain from egress to ingress.
     Single,
@@ -20,7 +19,6 @@ pub enum UpdateKind {
 
 /// Which logical layer a dual-layer notification travels on (§8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum UnmLayer {
     /// First layer: gateway-to-gateway, generated at the flow egress;
     /// resolves inter-segment (loop) dependencies by passing inherited old
@@ -35,7 +33,6 @@ pub enum UnmLayer {
 /// unknown flow, stamps the flow identifier (a hash of the src/dst pair in
 /// the P4 program), and sends it to the controller (Appendix B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Frm {
     /// The flow identifier computed by the ingress.
     pub flow: FlowId,
@@ -50,7 +47,6 @@ pub struct Frm {
 /// flow size bound for local capacity checks, and the new egress port
 /// (next hop) — §6 and §8.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Uim {
     /// Flow this configuration concerns.
     pub flow: FlowId,
@@ -76,7 +72,6 @@ pub struct Uim {
 /// state (§7.1, §8); the receiver runs Algorithm 1 (SL) or Algorithm 2 (DL)
 /// against it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Unm {
     /// Flow the notification concerns.
     pub flow: FlowId,
@@ -100,7 +95,6 @@ pub struct Unm {
 /// Why a switch refused to act on an update message. Reported to the
 /// controller in a UFM alarm for "further optional analysis" (§7.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum RejectReason {
     /// Notification distance does not fit the label (`D_n(v) ≠ D_n(UNM)+1`):
     /// accepting could create a forwarding loop (Fig. 6b).
@@ -123,7 +117,6 @@ pub enum RejectReason {
 
 /// Status carried by a UFM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum UfmStatus {
     /// The ingress completed the update chain: the new path is live.
     Success,
@@ -135,7 +128,6 @@ pub enum UfmStatus {
 /// completion (generated by the ingress from the arriving first-layer UNM)
 /// or an alarm (§6, §8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Ufm {
     /// Flow the feedback concerns.
     pub flow: FlowId,
@@ -153,7 +145,6 @@ pub struct Ufm {
 /// release its rule and capacity. Stops at nodes that still carry the
 /// flow (they have a share of version ≥ `version`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Cleanup {
     /// Flow being cleaned up.
     pub flow: FlowId,
@@ -171,7 +162,6 @@ pub struct Cleanup {
 /// per-packet path consistency on top of P4Update's loop/blackhole
 /// freedom.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct DataPacket {
     /// Flow the packet belongs to.
     pub flow: FlowId,
@@ -198,7 +188,6 @@ impl DataPacket {
 /// Control messages of the Central baseline (§9.1 "Centralized Updates"):
 /// per-round rule installations and their acknowledgements.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum CentralMsg {
     /// Controller → switch: install the new rule for `flow`.
     Install {
@@ -226,7 +215,6 @@ pub enum CentralMsg {
 /// activation cannot create a loop update immediately, `InLoop` segments
 /// wait for their dependencies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum EzSegmentKind {
     /// Safe to update independently.
     NotInLoop,
@@ -238,7 +226,6 @@ pub enum EzSegmentKind {
 /// computation (the paper: "assigns three types of update priorities along
 /// nodes in segments").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum EzPriority {
     /// Update whenever capacity allows.
     Low,
@@ -250,7 +237,6 @@ pub enum EzPriority {
 
 /// Control messages of the ez-Segway baseline.
 #[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum EzMsg {
     /// Controller → switch: this node's share of a flow update.
     Update {
@@ -314,7 +300,6 @@ pub enum EzMsg {
 /// Any message that can traverse the simulated network: data packets, the
 /// paper's four control messages, or a baseline's control messages.
 #[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum Message {
     /// A data-plane packet.
     Data(DataPacket),

@@ -20,12 +20,13 @@
 //!
 //! `next_hop`/`upstream` encode `None` as `u32::MAX` (no node id reaches
 //! that value in any evaluated topology).
+//!
+//! Buffers are plain `Vec<u8>`/`&[u8]` — the codec has no external
+//! dependencies so the workspace builds offline.
 
 use crate::types::{
-    Cleanup, DataPacket, Frm, Message, RejectReason, Ufm, UfmStatus, Uim, Unm, UnmLayer,
-    UpdateKind,
+    Cleanup, DataPacket, Frm, Message, RejectReason, Ufm, UfmStatus, Uim, Unm, UnmLayer, UpdateKind,
 };
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use p4update_net::{FlowId, NodeId, Version};
 
 /// Message-type discriminants on the wire.
@@ -71,13 +72,61 @@ impl std::error::Error for WireError {}
 
 const NONE_NODE: u32 = u32::MAX;
 
-fn put_opt_node(buf: &mut BytesMut, n: Option<NodeId>) {
-    buf.put_u32(n.map_or(NONE_NODE, |n| n.0));
+// ---------- encode helpers ----------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
 }
 
-fn get_opt_node(buf: &mut Bytes) -> Option<NodeId> {
-    let raw = buf.get_u32();
-    (raw != NONE_NODE).then_some(NodeId(raw))
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_opt_node(buf: &mut Vec<u8>, n: Option<NodeId>) {
+    put_u32(buf, n.map_or(NONE_NODE, |n| n.0));
+}
+
+// ---------- decode helpers ----------
+
+/// Bounds-checked big-endian reader over a wire buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_f64(&mut self) -> Result<f64, WireError> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(f64::from_be_bytes(raw))
+    }
+
+    fn get_opt_node(&mut self) -> Result<Option<NodeId>, WireError> {
+        let raw = self.get_u32()?;
+        Ok((raw != NONE_NODE).then_some(NodeId(raw)))
+    }
 }
 
 fn kind_to_u8(k: UpdateKind) -> u8 {
@@ -121,94 +170,84 @@ fn reason_from_u8(b: u8) -> Result<RejectReason, WireError> {
 /// Encode a message into its wire representation. Baseline messages
 /// (`Central`, `Ez`) have no P4 header format — the paper's baselines run on
 /// OpenFlow-style control channels — and are rejected here.
-pub fn encode(msg: &Message) -> Result<Bytes, WireError> {
-    let mut buf = BytesMut::with_capacity(32);
+pub fn encode(msg: &Message) -> Result<Vec<u8>, WireError> {
+    let mut buf = Vec::with_capacity(32);
     match msg {
         Message::Data(p) => {
-            buf.put_u8(WireType::Data as u8);
-            buf.put_u32(p.flow.0);
-            buf.put_u32(p.seq);
-            buf.put_u8(p.ttl);
-            buf.put_u32(p.tag.map_or(u32::MAX, |v| v.0));
+            buf.push(WireType::Data as u8);
+            put_u32(&mut buf, p.flow.0);
+            put_u32(&mut buf, p.seq);
+            buf.push(p.ttl);
+            put_u32(&mut buf, p.tag.map_or(u32::MAX, |v| v.0));
         }
         Message::Frm(m) => {
-            buf.put_u8(WireType::Frm as u8);
-            buf.put_u32(m.flow.0);
-            buf.put_u32(m.ingress.0);
-            buf.put_u32(m.egress.0);
+            buf.push(WireType::Frm as u8);
+            put_u32(&mut buf, m.flow.0);
+            put_u32(&mut buf, m.ingress.0);
+            put_u32(&mut buf, m.egress.0);
         }
         Message::Uim(m) => {
-            buf.put_u8(WireType::Uim as u8);
-            buf.put_u32(m.flow.0);
-            buf.put_u32(m.version.0);
-            buf.put_u32(m.new_distance);
-            buf.put_f64(m.flow_size);
+            buf.push(WireType::Uim as u8);
+            put_u32(&mut buf, m.flow.0);
+            put_u32(&mut buf, m.version.0);
+            put_u32(&mut buf, m.new_distance);
+            put_f64(&mut buf, m.flow_size);
             put_opt_node(&mut buf, m.next_hop);
             put_opt_node(&mut buf, m.upstream);
-            buf.put_u8(kind_to_u8(m.kind));
+            buf.push(kind_to_u8(m.kind));
         }
         Message::Unm(m) => {
-            buf.put_u8(WireType::Unm as u8);
-            buf.put_u32(m.flow.0);
-            buf.put_u32(m.v_new.0);
-            buf.put_u32(m.v_old.0);
-            buf.put_u32(m.d_new);
-            buf.put_u32(m.d_old);
-            buf.put_u32(m.counter);
-            buf.put_u8(kind_to_u8(m.kind));
-            buf.put_u8(match m.layer {
+            buf.push(WireType::Unm as u8);
+            put_u32(&mut buf, m.flow.0);
+            put_u32(&mut buf, m.v_new.0);
+            put_u32(&mut buf, m.v_old.0);
+            put_u32(&mut buf, m.d_new);
+            put_u32(&mut buf, m.d_old);
+            put_u32(&mut buf, m.counter);
+            buf.push(kind_to_u8(m.kind));
+            buf.push(match m.layer {
                 UnmLayer::Inter => 0,
                 UnmLayer::Intra => 1,
             });
         }
         Message::Ufm(m) => {
-            buf.put_u8(WireType::Ufm as u8);
-            buf.put_u32(m.flow.0);
-            buf.put_u32(m.version.0);
+            buf.push(WireType::Ufm as u8);
+            put_u32(&mut buf, m.flow.0);
+            put_u32(&mut buf, m.version.0);
             match m.status {
                 UfmStatus::Success => {
-                    buf.put_u8(0);
-                    buf.put_u8(0);
+                    buf.push(0);
+                    buf.push(0);
                 }
                 UfmStatus::Alarm(r) => {
-                    buf.put_u8(1);
-                    buf.put_u8(reason_to_u8(r));
+                    buf.push(1);
+                    buf.push(reason_to_u8(r));
                 }
             }
-            buf.put_u32(m.reporter.0);
+            put_u32(&mut buf, m.reporter.0);
         }
         Message::Cleanup(m) => {
-            buf.put_u8(WireType::Cleanup as u8);
-            buf.put_u32(m.flow.0);
-            buf.put_u32(m.version.0);
+            buf.push(WireType::Cleanup as u8);
+            put_u32(&mut buf, m.flow.0);
+            put_u32(&mut buf, m.version.0);
         }
         Message::Central(_) | Message::Ez(_) => {
             return Err(WireError::BadField("baseline messages have no wire format"));
         }
     }
-    Ok(buf.freeze())
+    Ok(buf)
 }
 
 /// Decode a wire buffer back into a message.
-pub fn decode(mut buf: Bytes) -> Result<Message, WireError> {
-    if buf.remaining() < 5 {
-        return Err(WireError::Truncated);
-    }
-    let ty = buf.get_u8();
-    let flow = FlowId(buf.get_u32());
-    let need = |buf: &Bytes, n: usize| {
-        if buf.remaining() < n {
-            Err(WireError::Truncated)
-        } else {
-            Ok(())
-        }
-    };
+pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(buf);
+    let ty = r.get_u8()?;
+    let flow = FlowId(r.get_u32()?);
     match ty {
         t if t == WireType::Data as u8 => {
-            need(&buf, 9)?;
-            let seq = buf.get_u32();
-            let ttl = buf.get_u8();
-            let raw_tag = buf.get_u32();
+            let seq = r.get_u32()?;
+            let ttl = r.get_u8()?;
+            let raw_tag = r.get_u32()?;
             Ok(Message::Data(DataPacket {
                 flow,
                 seq,
@@ -216,22 +255,18 @@ pub fn decode(mut buf: Bytes) -> Result<Message, WireError> {
                 tag: (raw_tag != u32::MAX).then_some(Version(raw_tag)),
             }))
         }
-        t if t == WireType::Frm as u8 => {
-            need(&buf, 8)?;
-            Ok(Message::Frm(Frm {
-                flow,
-                ingress: NodeId(buf.get_u32()),
-                egress: NodeId(buf.get_u32()),
-            }))
-        }
+        t if t == WireType::Frm as u8 => Ok(Message::Frm(Frm {
+            flow,
+            ingress: NodeId(r.get_u32()?),
+            egress: NodeId(r.get_u32()?),
+        })),
         t if t == WireType::Uim as u8 => {
-            need(&buf, 25)?;
-            let version = Version(buf.get_u32());
-            let new_distance = buf.get_u32();
-            let flow_size = buf.get_f64();
-            let next_hop = get_opt_node(&mut buf);
-            let upstream = get_opt_node(&mut buf);
-            let kind = kind_from_u8(buf.get_u8())?;
+            let version = Version(r.get_u32()?);
+            let new_distance = r.get_u32()?;
+            let flow_size = r.get_f64()?;
+            let next_hop = r.get_opt_node()?;
+            let upstream = r.get_opt_node()?;
+            let kind = kind_from_u8(r.get_u8()?)?;
             Ok(Message::Uim(Uim {
                 flow,
                 version,
@@ -243,14 +278,13 @@ pub fn decode(mut buf: Bytes) -> Result<Message, WireError> {
             }))
         }
         t if t == WireType::Unm as u8 => {
-            need(&buf, 22)?;
-            let v_new = Version(buf.get_u32());
-            let v_old = Version(buf.get_u32());
-            let d_new = buf.get_u32();
-            let d_old = buf.get_u32();
-            let counter = buf.get_u32();
-            let kind = kind_from_u8(buf.get_u8())?;
-            let layer = match buf.get_u8() {
+            let v_new = Version(r.get_u32()?);
+            let v_old = Version(r.get_u32()?);
+            let d_new = r.get_u32()?;
+            let d_old = r.get_u32()?;
+            let counter = r.get_u32()?;
+            let kind = kind_from_u8(r.get_u8()?)?;
+            let layer = match r.get_u8()? {
                 0 => UnmLayer::Inter,
                 1 => UnmLayer::Intra,
                 _ => return Err(WireError::BadField("layer")),
@@ -267,10 +301,9 @@ pub fn decode(mut buf: Bytes) -> Result<Message, WireError> {
             }))
         }
         t if t == WireType::Ufm as u8 => {
-            need(&buf, 10)?;
-            let version = Version(buf.get_u32());
-            let status_byte = buf.get_u8();
-            let reason_byte = buf.get_u8();
+            let version = Version(r.get_u32()?);
+            let status_byte = r.get_u8()?;
+            let reason_byte = r.get_u8()?;
             let status = match status_byte {
                 0 => UfmStatus::Success,
                 1 => UfmStatus::Alarm(reason_from_u8(reason_byte)?),
@@ -280,16 +313,13 @@ pub fn decode(mut buf: Bytes) -> Result<Message, WireError> {
                 flow,
                 version,
                 status,
-                reporter: NodeId(buf.get_u32()),
+                reporter: NodeId(r.get_u32()?),
             }))
         }
-        t if t == WireType::Cleanup as u8 => {
-            need(&buf, 4)?;
-            Ok(Message::Cleanup(Cleanup {
-                flow,
-                version: Version(buf.get_u32()),
-            }))
-        }
+        t if t == WireType::Cleanup as u8 => Ok(Message::Cleanup(Cleanup {
+            flow,
+            version: Version(r.get_u32()?),
+        })),
         other => Err(WireError::UnknownType(other)),
     }
 }
@@ -300,7 +330,7 @@ mod tests {
 
     fn roundtrip(msg: Message) {
         let wire = encode(&msg).expect("encodable");
-        let back = decode(wire).expect("decodable");
+        let back = decode(&wire).expect("decodable");
         assert_eq!(back, msg);
     }
 
@@ -309,7 +339,9 @@ mod tests {
         roundtrip(Message::Data(DataPacket {
             flow: FlowId(7),
             seq: 123456,
-            ttl: 64, tag: None }));
+            ttl: 64,
+            tag: None,
+        }));
     }
 
     #[test]
@@ -397,17 +429,14 @@ mod tests {
         });
         let wire = encode(&msg).unwrap();
         for cut in 0..wire.len() {
-            let partial = wire.slice(..cut);
-            assert!(decode(partial).is_err(), "cut at {cut} decoded");
+            assert!(decode(&wire[..cut]).is_err(), "cut at {cut} decoded");
         }
     }
 
     #[test]
     fn unknown_type_errors() {
-        let mut buf = BytesMut::new();
-        buf.put_u8(0x7F);
-        buf.put_u32(0);
-        assert_eq!(decode(buf.freeze()), Err(WireError::UnknownType(0x7F)));
+        let buf = [0x7Fu8, 0, 0, 0, 0];
+        assert_eq!(decode(&buf), Err(WireError::UnknownType(0x7F)));
     }
 
     #[test]
@@ -422,14 +451,10 @@ mod tests {
             upstream: None,
             kind: UpdateKind::Single,
         });
-        let wire = encode(&msg).unwrap();
-        let mut raw = wire.to_vec();
+        let mut raw = encode(&msg).unwrap();
         let last = raw.len() - 1;
         raw[last] = 9;
-        assert_eq!(
-            decode(Bytes::from(raw)),
-            Err(WireError::BadField("kind"))
-        );
+        assert_eq!(decode(&raw), Err(WireError::BadField("kind")));
     }
 
     #[test]
@@ -443,7 +468,9 @@ mod tests {
         let data = encode(&Message::Data(DataPacket {
             flow: FlowId(0),
             seq: 0,
-            ttl: 0, tag: None }))
+            ttl: 0,
+            tag: None,
+        }))
         .unwrap();
         assert_eq!(data.len(), 14);
         let frm = encode(&Message::Frm(Frm {

@@ -11,7 +11,6 @@ use std::fmt;
 /// emits the flow-report message (Appendix B); here it is assigned by the
 /// harness and carried verbatim in every message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct FlowId(pub u32);
 
 impl FlowId {
@@ -31,7 +30,6 @@ impl fmt::Display for FlowId {
 /// the controller emits for a flow; used by the data plane to reject
 /// out-of-date update commands (§3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Version(pub u32);
 
 impl Version {
@@ -159,10 +157,7 @@ mod tests {
     fn update_nodes_exclude_egress() {
         let u = FlowUpdate::new(FlowId(0), Some(p(&[0, 4, 2, 7])), p(&[0, 1, 2, 3, 7]), 1.0);
         let nodes: Vec<_> = u.nodes_to_update().collect();
-        assert_eq!(
-            nodes,
-            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
-        );
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
         assert!(!u.is_noop());
     }
 

@@ -7,7 +7,6 @@ use std::fmt;
 
 /// Identifier of a switch / node. Dense, assigned in insertion order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -25,7 +24,6 @@ impl fmt::Display for NodeId {
 
 /// Identifier of an undirected link (index into [`Topology::links`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct LinkId(pub u32);
 
 impl LinkId {
@@ -40,7 +38,6 @@ impl LinkId {
 /// controlled exclusively by the sending endpoint (which is what makes the
 /// paper's *local* congestion scheduling well-defined).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct DirectedLink {
     /// Transmitting endpoint.
     pub from: NodeId,
@@ -186,10 +183,13 @@ impl Topology {
         let mut best_ecc = f64::INFINITY;
         for v in self.node_ids() {
             let dist = crate::path::latency_distances_from(self, v);
-            let ecc = dist
-                .iter()
-                .copied()
-                .fold(0.0f64, |acc, d| if d.is_finite() { acc.max(d) } else { f64::INFINITY });
+            let ecc = dist.iter().copied().fold(0.0f64, |acc, d| {
+                if d.is_finite() {
+                    acc.max(d)
+                } else {
+                    f64::INFINITY
+                }
+            });
             if ecc < best_ecc {
                 best_ecc = ecc;
                 best = v;

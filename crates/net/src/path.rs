@@ -12,7 +12,6 @@ use std::collections::BinaryHeap;
 /// path was produced by the algorithms in this module; [`Path::validate`]
 /// checks arbitrary inputs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Path {
     nodes: Vec<NodeId>,
 }
@@ -62,8 +61,7 @@ impl Path {
     /// Hop distance from `v` to the egress along this path — the paper's
     /// distance label `D` (egress has distance 0).
     pub fn distance_to_egress(&self, v: NodeId) -> Option<u32> {
-        self.position(v)
-            .map(|p| (self.nodes.len() - 1 - p) as u32)
+        self.position(v).map(|p| (self.nodes.len() - 1 - p) as u32)
     }
 
     /// The node `v` forwards to on this path (its *parent* / successor in
@@ -192,8 +190,7 @@ fn shortest_path_filtered(
             let w = topo.link(link).latency.as_millis_f64();
             let nd = cost + w;
             if nd < dist[next.index()]
-                || (nd == dist[next.index()]
-                    && prev[next.index()].is_some_and(|p| node < p))
+                || (nd == dist[next.index()] && prev[next.index()].is_some_and(|p| node < p))
             {
                 dist[next.index()] = nd;
                 prev[next.index()] = Some(node);
@@ -246,11 +243,11 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
             // same root, and ban root nodes (except the spur) to keep the
             // total path simple.
             let mut banned_edges = Vec::new();
-            for p in result.iter().map(|p| p.nodes()).chain(
-                candidates
-                    .iter()
-                    .map(|(_, p)| p.nodes()),
-            ) {
+            for p in result
+                .iter()
+                .map(Path::nodes)
+                .chain(candidates.iter().map(|(_, p)| p.nodes()))
+            {
                 if p.len() > spur_idx + 1 && p[..=spur_idx] == root[..] {
                     banned_edges.push((p[spur_idx], p[spur_idx + 1]));
                 }
@@ -267,9 +264,7 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
                 total.extend_from_slice(&spur.nodes()[1..]);
                 let path = Path::new(total);
                 let cost = path.total_latency(topo).as_millis_f64();
-                if !candidates.iter().any(|(_, p)| *p == path)
-                    && !result.contains(&path)
-                {
+                if !candidates.iter().any(|(_, p)| *p == path) && !result.contains(&path) {
                     candidates.push((cost, path));
                 }
             }

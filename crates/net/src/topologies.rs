@@ -18,8 +18,8 @@
 //! reached, which preserves node count, edge count, degree distribution
 //! scale, and latency realism (substitution documented in DESIGN.md §2).
 
-use crate::graph::{NodeId, Topology, TopologyBuilder};
 use crate::geo::haversine_km;
+use crate::graph::{NodeId, Topology, TopologyBuilder};
 use p4update_des::{SimDuration, SimRng};
 
 /// Default per-direction link capacity for scenario topologies, in flow-size
@@ -121,7 +121,10 @@ pub fn fig4_net() -> Topology {
 /// Node naming: `core{i}`, `agg{p}_{i}`, `edge{p}_{i}`. Intra-DC links get
 /// 0.05 ms latency. `k` must be even and ≥ 2.
 pub fn fat_tree(k: usize) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree k must be even and >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree k must be even and >= 2"
+    );
     let mut b = TopologyBuilder::new(format!("fat-tree-k{k}"));
     let lat = SimDuration::from_micros(50);
     let half = k / 2;
@@ -282,13 +285,12 @@ pub fn internet2() -> Topology {
 ///
 /// # Panics
 /// Panics if `target_edges` is below `n - 1` (tree) or above `n(n-1)/2`.
-pub fn geo_mesh(
-    name: &str,
-    sites: &[(&str, f64, f64)],
-    target_edges: usize,
-) -> Topology {
+pub fn geo_mesh(name: &str, sites: &[(&str, f64, f64)], target_edges: usize) -> Topology {
     let n = sites.len();
-    assert!(target_edges >= n.saturating_sub(1), "too few edges to connect");
+    assert!(
+        target_edges >= n.saturating_sub(1),
+        "too few edges to connect"
+    );
     assert!(target_edges <= n * (n - 1) / 2, "more edges than pairs");
     let mut b = TopologyBuilder::new(name);
     let ids: Vec<NodeId> = sites

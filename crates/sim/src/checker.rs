@@ -236,10 +236,7 @@ mod tests {
             set_rule(&mut sw, 0, f, Some(1));
             set_rule(&mut sw, 1, f, None);
         }
-        let flows = BTreeMap::from([
-            (FlowId(0), spec(0, 1, 1.5)),
-            (FlowId(1), spec(0, 1, 1.5)),
-        ]);
+        let flows = BTreeMap::from([(FlowId(0), spec(0, 1, 1.5)), (FlowId(1), spec(0, 1, 1.5))]);
         let v = check(&topo, &sw, &flows);
         assert_eq!(v.len(), 1);
         match &v[0] {
@@ -267,10 +264,7 @@ mod tests {
         set_rule(&mut sw, 1, 0, None);
         set_rule(&mut sw, 1, 1, Some(0));
         set_rule(&mut sw, 0, 1, None);
-        let flows = BTreeMap::from([
-            (FlowId(0), spec(0, 1, 1.5)),
-            (FlowId(1), spec(1, 0, 1.5)),
-        ]);
+        let flows = BTreeMap::from([(FlowId(0), spec(0, 1, 1.5)), (FlowId(1), spec(1, 0, 1.5))]);
         assert!(check(&topo, &sw, &flows).is_empty());
     }
 }

@@ -133,7 +133,9 @@ mod tests {
         DataPacket {
             flow: FlowId(0),
             seq,
-            ttl: 64, tag: None }
+            ttl: 64,
+            tag: None,
+        }
     }
 
     fn at(ms: u64) -> SimTime {
@@ -147,10 +149,7 @@ mod tests {
         m.record_completion(at(9), FlowId(2), Version(2));
         assert_eq!(m.completion_of(FlowId(1), Version(2)), Some(at(5)));
         assert_eq!(m.completion_of(FlowId(1), Version(3)), None);
-        assert_eq!(
-            m.last_completion(&[FlowId(1), FlowId(2)]),
-            Some(at(9))
-        );
+        assert_eq!(m.last_completion(&[FlowId(1), FlowId(2)]), Some(at(9)));
         assert_eq!(m.last_completion(&[FlowId(1), FlowId(3)]), None);
     }
 

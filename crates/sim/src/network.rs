@@ -9,16 +9,13 @@
 use crate::checker::{check, FlowSpec, Violation};
 use crate::config::{ms, ControlLatency, InstallDelay, SimConfig};
 use crate::metrics::Metrics;
+use p4update_analysis::{analyze_batch_with, AnalysisContext, Diagnostic};
 use p4update_baselines::{CentralController, CentralSwitchLogic, EzController, EzSwitchLogic};
-use p4update_core::{P4UpdateController, P4UpdateLogic, Strategy};
-use p4update_dataplane::{
-    ControllerLogic, CtrlEffect, Effect, Endpoint, Switch, SwitchLogic,
-};
-use p4update_des::{SimDuration, SimRng, SimTime, Scheduler, Simulation, World};
+use p4update_core::{prepare_update, P4UpdateController, P4UpdateLogic, PreparedUpdate, Strategy};
+use p4update_dataplane::{ControllerLogic, CtrlEffect, Effect, Endpoint, Switch, SwitchLogic};
+use p4update_des::{Scheduler, SimDuration, SimRng, SimTime, Simulation, World};
 use p4update_messages::{DataPacket, Message};
-use p4update_net::{
-    latency_distances_from, FlowId, FlowUpdate, NodeId, Path, Topology, Version,
-};
+use p4update_net::{latency_distances_from, FlowId, FlowUpdate, NodeId, Path, Topology, Version};
 use std::collections::BTreeMap;
 
 /// Which system drives the updates.
@@ -147,6 +144,10 @@ pub struct NetworkSim {
     pub metrics: Metrics,
     /// Violations found by per-event checking (paranoid mode).
     pub violations: Vec<(SimTime, Violation)>,
+    /// Findings of the static analysis gate (`SimConfig::analysis_gate`):
+    /// every diagnostic the plan linter raised for triggered P4Update
+    /// batches, warnings included.
+    pub analysis_findings: Vec<Diagnostic>,
 }
 
 impl NetworkSim {
@@ -223,6 +224,7 @@ impl NetworkSim {
             flows: BTreeMap::new(),
             metrics: Metrics::default(),
             violations: Vec::new(),
+            analysis_findings: Vec::new(),
         }
     }
 
@@ -448,6 +450,45 @@ impl NetworkSim {
         sched.schedule_in(ms(interval), Event::PollTick { node });
     }
 
+    /// The static analysis gate: before a P4Update batch ships, re-prepare
+    /// each plan exactly as the controller is about to (same strategy, same
+    /// version assignment) and lint it against the proof-labeling
+    /// invariants. Findings are recorded for the harness; error-severity
+    /// findings additionally trip a debug assertion — a plan the analyzer
+    /// rejects must never reach the switches in a test build.
+    fn run_analysis_gate(&mut self, updates: &[FlowUpdate]) {
+        let ControllerImpl::P4(c) = &self.controller else {
+            return; // the baselines carry no proof labels to lint
+        };
+        // Replicate the controller's per-batch version assignment: each
+        // entry gets one past the newest version of its flow, including
+        // versions assigned earlier in this very batch.
+        let mut assigned: BTreeMap<FlowId, Version> = BTreeMap::new();
+        let plans: Vec<PreparedUpdate> = updates
+            .iter()
+            .map(|u| {
+                let v = assigned
+                    .get(&u.flow)
+                    .map_or_else(|| c.next_version(u.flow), |v| v.next());
+                assigned.insert(u.flow, v);
+                prepare_update(u, v, c.strategy())
+            })
+            .collect();
+        let mut ctx = AnalysisContext::with_topo(&self.topo);
+        for u in updates {
+            if let Some(cur) = c.current_version(u.flow) {
+                ctx.install(u.flow, cur);
+            }
+        }
+        let diags = analyze_batch_with(&plans, &ctx);
+        debug_assert!(
+            !diags.iter().any(Diagnostic::is_error),
+            "analysis gate rejected a plan: {:?}",
+            diags.iter().filter(|d| d.is_error()).collect::<Vec<_>>()
+        );
+        self.analysis_findings.extend(diags);
+    }
+
     fn run_checker(&mut self, now: SimTime) {
         if !self.config.paranoid {
             return;
@@ -455,10 +496,7 @@ impl NetworkSim {
         for v in check(&self.topo, &self.switches, &self.flows) {
             // Deduplicate persistent violations: record state transitions
             // only.
-            let already = self
-                .violations
-                .iter()
-                .any(|(_, existing)| *existing == v);
+            let already = self.violations.iter().any(|(_, existing)| *existing == v);
             if !already {
                 self.violations.push((now, v));
             }
@@ -550,7 +588,9 @@ impl World for NetworkSim {
             }
             Event::ControllerExec { from, msg } => {
                 let mut out = Vec::new();
-                self.controller.as_logic().on_message(now, from, msg, &mut out);
+                self.controller
+                    .as_logic()
+                    .on_message(now, from, msg, &mut out);
                 self.apply_ctrl_effects(now, out, sched);
             }
             Event::PollTick { node } => {
@@ -561,8 +601,7 @@ impl World for NetworkSim {
                 } else {
                     // Each parked message makes one pipeline pass.
                     let start = now.max(self.switch_busy[&node]);
-                    let spin = ms(self.config.timing.switch_proc_ms)
-                        .saturating_mul(parked as u64);
+                    let spin = ms(self.config.timing.switch_proc_ms).saturating_mul(parked as u64);
                     let done = start + spin;
                     self.switch_busy.insert(node, done);
                     sched.schedule_at(done + ms(interval), Event::PollTick { node });
@@ -571,6 +610,9 @@ impl World for NetworkSim {
             Event::Trigger { batch } => {
                 let updates = self.batches.get(batch).cloned().unwrap_or_default();
                 self.metrics.record_trigger(now, batch);
+                if self.config.analysis_gate {
+                    self.run_analysis_gate(&updates);
+                }
                 let mut out = Vec::new();
                 let base = now.max(self.ctrl_busy);
                 self.controller
@@ -627,7 +669,11 @@ mod tests {
             .unwrap();
         assert_eq!(remaining, topologies::DEFAULT_CAPACITY - 2.0);
         // Egress terminates.
-        assert!(sim.switches[&NodeId(7)].state.uib.read(FlowId(0)).is_egress());
+        assert!(sim.switches[&NodeId(7)]
+            .state
+            .uib
+            .read(FlowId(0))
+            .is_egress());
         // Checker is clean.
         assert!(check(&sim.topo, &sim.switches, &sim.flows).is_empty());
     }
@@ -645,7 +691,9 @@ mod tests {
                 pkt: DataPacket {
                     flow: FlowId(0),
                     seq: 7,
-                    ttl: 64, tag: None },
+                    ttl: 64,
+                    tag: None,
+                },
                 egress_hint: NodeId(7),
             },
         );
@@ -669,6 +717,44 @@ mod tests {
             let sim = basic_sim(system);
             assert_eq!(sim.switches.len(), 8);
         }
+    }
+
+    #[test]
+    fn analysis_gate_runs_clean_on_fig1_migration() {
+        let topo = topologies::fig1();
+        let config = SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), 1)
+            .with_analysis_gate(true);
+        let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
+        let old = Path::new(topologies::fig1_old_path());
+        let new = Path::new(topologies::fig1_new_path());
+        world.install_initial_path(FlowId(0), &old, 1.0);
+        let batch = world.add_batch(vec![FlowUpdate::new(FlowId(0), Some(old), new, 1.0)]);
+        let mut sim = simulation(world);
+        sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        assert!(sim.run().drained());
+        // A well-prepared plan produces no findings at all.
+        assert!(sim.into_world().analysis_findings.is_empty());
+    }
+
+    #[test]
+    fn analysis_gate_records_mechanism_advisories() {
+        let topo = topologies::fig1();
+        let config = SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), 1)
+            .with_analysis_gate(true);
+        // ForceSingle on Fig. 1 violates the §7.5 rule (backward segment,
+        // 8 nodes): the gate warns but does not trip.
+        let mut world =
+            NetworkSim::new(topo, System::P4Update(Strategy::ForceSingle), config, None);
+        let old = Path::new(topologies::fig1_old_path());
+        let new = Path::new(topologies::fig1_new_path());
+        world.install_initial_path(FlowId(0), &old, 1.0);
+        let batch = world.add_batch(vec![FlowUpdate::new(FlowId(0), Some(old), new, 1.0)]);
+        let mut sim = simulation(world);
+        sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        assert!(sim.run().drained());
+        let world = sim.into_world();
+        assert!(!world.analysis_findings.is_empty());
+        assert!(world.analysis_findings.iter().all(|d| !d.is_error()));
     }
 
     #[test]

@@ -107,15 +107,9 @@ fn dual_layer_beats_single_layer_on_fig1_with_install_delays() {
             (Strategy::ForceSingle, &mut sl_total),
             (Strategy::ForceDual, &mut dl_total),
         ] {
-            let config =
-                SimConfig::new(TimingConfig::wan_single_flow(topo.centroid()), 100 + seed);
-            let mut world =
-                NetworkSim::new(topo.clone(), System::P4Update(strategy), config, None);
-            world.install_initial_path(
-                FlowId(0),
-                &Path::new(topologies::fig1_old_path()),
-                1.0,
-            );
+            let config = SimConfig::new(TimingConfig::wan_single_flow(topo.centroid()), 100 + seed);
+            let mut world = NetworkSim::new(topo.clone(), System::P4Update(strategy), config, None);
+            world.install_initial_path(FlowId(0), &Path::new(topologies::fig1_old_path()), 1.0);
             let batch = world.add_batch(vec![fig1_update()]);
             let mut sim = simulation(world);
             sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });

@@ -97,7 +97,10 @@ mod tests {
         let b = TrafficMatrix::gravity(&mut SimRng::new(7), 6, 10.0);
         for i in 0..6 {
             for j in 0..6 {
-                assert_eq!(a.demand(NodeId(i), NodeId(j)), b.demand(NodeId(i), NodeId(j)));
+                assert_eq!(
+                    a.demand(NodeId(i), NodeId(j)),
+                    b.demand(NodeId(i), NodeId(j))
+                );
             }
         }
     }

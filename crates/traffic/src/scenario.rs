@@ -119,12 +119,7 @@ fn join_legs(legs: &[&Path]) -> Option<Path> {
 }
 
 /// Shortest path that avoids `banned` nodes entirely.
-fn shortest_avoiding(
-    topo: &Topology,
-    src: NodeId,
-    dst: NodeId,
-    banned: &[NodeId],
-) -> Option<Path> {
+fn shortest_avoiding(topo: &Topology, src: NodeId, dst: NodeId, banned: &[NodeId]) -> Option<Path> {
     if banned.contains(&src) || banned.contains(&dst) || src == dst {
         return None;
     }
@@ -303,7 +298,9 @@ pub fn multi_flow(topo: &Topology, rng: &mut SimRng, load_factor: f64) -> Worklo
                 ok = false;
                 break;
             }
-            let size = tm.demand(src, dst).max(target_total / (n as f64 * n as f64));
+            let size = tm
+                .demand(src, dst)
+                .max(target_total / (n as f64 * n as f64));
             updates.push(FlowUpdate::new(
                 FlowId(i as u32),
                 Some(paths[0].clone()),
@@ -365,10 +362,7 @@ mod tests {
             assert!(u.old_path.as_ref().unwrap().validate(&topo));
             assert!(u.new_path.validate(&topo));
             assert!(u.size > 0.0);
-            assert_eq!(
-                u.old_path.as_ref().unwrap().ingress(),
-                u.new_path.ingress()
-            );
+            assert_eq!(u.old_path.as_ref().unwrap().ingress(), u.new_path.ingress());
         }
     }
 
@@ -377,7 +371,7 @@ mod tests {
         let topo = topologies::internet2();
         let mut rng = SimRng::new(5);
         let w = multi_flow(&topo, &mut rng, 0.3);
-        for (_, &free) in &w.free_capacity {
+        for &free in w.free_capacity.values() {
             assert!(free >= -1e-9, "over-allocated link: {free}");
         }
     }

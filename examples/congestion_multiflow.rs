@@ -67,8 +67,10 @@ fn main() {
     }
     let a = world.switches[&NodeId(1)].state.uib.read(flow_a);
     let b = world.switches[&NodeId(1)].state.uib.read(flow_b);
-    println!("\nfinal next hops at v1:  flow A -> {:?},  flow B -> {:?}",
-        a.active_next_hop, b.active_next_hop);
+    println!(
+        "\nfinal next hops at v1:  flow A -> {:?},  flow B -> {:?}",
+        a.active_next_hop, b.active_next_hop
+    );
     println!(
         "capacity violations during the swap: {}",
         world

@@ -53,7 +53,10 @@ fn main() {
         .completion_of(FlowId(0), Version(2))
         .expect("update completed");
     println!("\nupdate completed after {done} (simulated)");
-    println!("consistency violations during migration: {}", world.violations.len());
+    println!(
+        "consistency violations during migration: {}",
+        world.violations.len()
+    );
 
     println!("\nfinal forwarding state:");
     for w in new.nodes().windows(2) {

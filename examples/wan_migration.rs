@@ -17,14 +17,29 @@ fn main() {
     let update = single_flow(&topo);
     let old = update.old_path.clone().expect("migration has an old path");
 
-    println!("topology: {} ({} sites, {} links)", topo.name, topo.node_count(), topo.link_count());
+    println!(
+        "topology: {} ({} sites, {} links)",
+        topo.name,
+        topo.node_count(),
+        topo.link_count()
+    );
     println!(
         "old path: {}",
-        old.nodes().iter().map(|n| topo.node(*n).name.clone()).collect::<Vec<_>>().join(" -> ")
+        old.nodes()
+            .iter()
+            .map(|n| topo.node(*n).name.clone())
+            .collect::<Vec<_>>()
+            .join(" -> ")
     );
     println!(
         "new path: {}",
-        update.new_path.nodes().iter().map(|n| topo.node(*n).name.clone()).collect::<Vec<_>>().join(" -> ")
+        update
+            .new_path
+            .nodes()
+            .iter()
+            .map(|n| topo.node(*n).name.clone())
+            .collect::<Vec<_>>()
+            .join(" -> ")
     );
     let seg = segment_update(&update);
     println!(

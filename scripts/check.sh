@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must pass before a change ships.
+#
+#   scripts/check.sh
+#
+# Runs formatting, the clippy lint wall, the full offline test suite, and
+# the static plan linter over its sample plans (including the mutated ones,
+# which must make it exit non-zero).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release -q
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "==> p4update-lint over sample plans (must be error-free)"
+cargo run -q --example p4update_lint
+
+echo "==> p4update-lint over mutated plans (must flag errors)"
+if cargo run -q --example p4update_lint -- --mutate; then
+    echo "error: the lint binary accepted corrupted plans" >&2
+    exit 1
+fi
+
+echo "All checks passed."

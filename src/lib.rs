@@ -42,6 +42,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`core`] | the paper's contribution: labels, segmentation, Algorithms 1–2, the data-plane congestion scheduler, the controller |
+//! | [`analysis`] | static plan verifier: lints prepared updates against the proof-labeling invariants before they ship |
 //! | [`dataplane`] | BMv2-like switch chassis, the UIB register file (Table 1) |
 //! | [`pipeline`] | P4 primitives: registers, match-action tables, clone, resubmit |
 //! | [`messages`] | FRM/UIM/UNM/UFM and data packets, with wire layouts |
@@ -54,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use p4update_analysis as analysis;
 pub use p4update_baselines as baselines;
 pub use p4update_core as core;
 pub use p4update_dataplane as dataplane;

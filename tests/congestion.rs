@@ -7,9 +7,7 @@
 use p4update::core::Strategy;
 use p4update::des::{SimDuration, SimRng, SimTime};
 use p4update::net::{topologies, FlowId};
-use p4update::sim::{
-    simulation, Event, NetworkSim, SimConfig, System, TimingConfig, Violation,
-};
+use p4update::sim::{simulation, Event, NetworkSim, SimConfig, System, TimingConfig, Violation};
 use p4update::traffic::multi_flow;
 
 fn run_workload(
@@ -39,7 +37,10 @@ fn run_workload(
 fn multi_flow_migrations_never_violate_capacity() {
     for (mk_topo, seeds) in [
         (topologies::b4 as fn() -> p4update::net::Topology, 0..4u64),
-        (topologies::internet2 as fn() -> p4update::net::Topology, 0..4u64),
+        (
+            topologies::internet2 as fn() -> p4update::net::Topology,
+            0..4u64,
+        ),
     ] {
         for seed in seeds {
             for strategy in [Strategy::Auto, Strategy::ForceDual] {
@@ -75,8 +76,7 @@ fn moderate_load_multi_flow_completes() {
         let mut rng = SimRng::new(9000 + seed);
         let workload = multi_flow(&topo, &mut rng, 0.25);
         let flows: Vec<FlowId> = workload.updates.iter().map(|u| u.flow).collect();
-        let config =
-            SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), seed).paranoid();
+        let config = SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), seed).paranoid();
         let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
         for u in &workload.updates {
             world.install_initial_path(u.flow, u.old_path.as_ref().expect("generated"), u.size);
@@ -86,7 +86,11 @@ fn moderate_load_multi_flow_completes() {
         sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
         let _ = sim.run_until(SimTime::ZERO + SimDuration::from_secs(300));
         let world = sim.into_world();
-        assert!(world.violations.is_empty(), "seed {seed}: {:?}", world.violations);
+        assert!(
+            world.violations.is_empty(),
+            "seed {seed}: {:?}",
+            world.violations
+        );
         assert!(
             world.metrics.last_completion(&flows).is_some(),
             "seed {seed}: some flow never completed at moderate load"
@@ -112,6 +116,10 @@ fn fat_tree_multi_flow_is_consistent() {
         sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
         let _ = sim.run_until(SimTime::ZERO + SimDuration::from_secs(300));
         let world = sim.into_world();
-        assert!(world.violations.is_empty(), "seed {seed}: {:?}", world.violations);
+        assert!(
+            world.violations.is_empty(),
+            "seed {seed}: {:?}",
+            world.violations
+        );
     }
 }

@@ -6,9 +6,7 @@ use p4update::core::Strategy;
 use p4update::des::{SimDuration, SimTime};
 use p4update::messages::DataPacket;
 use p4update::net::{topologies, FlowId, FlowUpdate, NodeId, Path, Version};
-use p4update::sim::{
-    simulation, Event, FaultConfig, NetworkSim, SimConfig, System, TimingConfig,
-};
+use p4update::sim::{simulation, Event, FaultConfig, NetworkSim, SimConfig, System, TimingConfig};
 
 fn p(ids: &[u32]) -> Path {
     Path::new(ids.iter().map(|&i| NodeId(i)).collect())
@@ -49,7 +47,11 @@ fn cleanup_clears_abandoned_old_path() {
         .expect("adjacent");
     assert_eq!(after, before + 2.0, "capacity was not released");
     // Nodes still on the path keep their rules.
-    assert!(world.switches[&NodeId(3)].state.uib.read(flow).has_active_rule());
+    assert!(world.switches[&NodeId(3)]
+        .state
+        .uib
+        .read(flow)
+        .has_active_rule());
 }
 
 /// Loss recovery (§11): with heavy UNM loss the update stalls; the
@@ -78,7 +80,11 @@ fn recovery_completes_update_despite_unm_loss() {
         sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
         let _ = sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
         let world = sim.into_world();
-        assert!(world.violations.is_empty(), "seed {seed}: {:?}", world.violations);
+        assert!(
+            world.violations.is_empty(),
+            "seed {seed}: {:?}",
+            world.violations
+        );
         if world.metrics.completion_of(FlowId(0), Version(2)).is_some() {
             completed += 1;
         }
@@ -154,7 +160,9 @@ fn frm_sets_up_a_new_flow_end_to_end() {
                 pkt: DataPacket {
                     flow,
                     seq: i as u32,
-                    ttl: 64, tag: None },
+                    ttl: 64,
+                    tag: None,
+                },
                 egress_hint: egress,
             },
         );

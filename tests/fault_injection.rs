@@ -99,10 +99,7 @@ fn reordering_preserves_consistency_and_liveness() {
                 world.violations
             );
             assert!(
-                world
-                    .metrics
-                    .completion_of(FlowId(0), Version(2))
-                    .is_some(),
+                world.metrics.completion_of(FlowId(0), Version(2)).is_some(),
                 "{strategy:?} seed {seed}: no completion without loss"
             );
         }

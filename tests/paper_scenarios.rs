@@ -69,7 +69,10 @@ fn fig7a_dual_layer_wins_on_segmented_single_flow() {
         (auto - dl).abs() < 1e-6,
         "auto strategy must pick DL here (auto {auto:.0}, dl {dl:.0})"
     );
-    assert!(auto < ez, "P4Update ({auto:.0}) must beat ez-Segway ({ez:.0})");
+    assert!(
+        auto < ez,
+        "P4Update ({auto:.0}) must beat ez-Segway ({ez:.0})"
+    );
 }
 
 /// Fig. 7 multi-flow ordering: P4Update ≤ ez-Segway ≤/< Central on B4.
@@ -88,7 +91,10 @@ fn fig7d_multi_flow_ordering() {
     let ez = mean("ez-Segway");
     let central = mean("Central");
     assert!(p4 < ez, "P4Update ({p4:.0}) must beat ez-Segway ({ez:.0})");
-    assert!(p4 < central, "P4Update ({p4:.0}) must beat Central ({central:.0})");
+    assert!(
+        p4 < central,
+        "P4Update ({p4:.0}) must beat Central ({central:.0})"
+    );
 }
 
 /// Fig. 8 (§9.3): P4Update's preparation is cheaper than ez-Segway's in
@@ -161,5 +167,8 @@ fn system_labels_match_figures() {
         system_label(System::EzSegway { congestion: false }),
         "ez-Segway"
     );
-    assert_eq!(system_label(System::Central { congestion: false }), "Central");
+    assert_eq!(
+        system_label(System::Central { congestion: false }),
+        "Central"
+    );
 }

@@ -1,10 +1,11 @@
-//! Property-based tests (proptest) on the core data structures and
-//! algorithm invariants.
-
-use proptest::prelude::*;
+//! Randomized property tests on the core data structures and algorithm
+//! invariants, driven by the in-tree `propcheck` harness (see
+//! `p4update::des::propcheck`). Enable the `proptest` cargo feature for
+//! exhaustive (~16x) case counts.
 
 use p4update::core::{label_path, segment_update, verify, verify_sl, Verdict};
 use p4update::dataplane::{FlowPriority, Uib, UibEntry};
+use p4update::des::propcheck::{cases, forall};
 use p4update::des::{Samples, SimRng};
 use p4update::messages::{
     decode, encode, DataPacket, Frm, Message, RejectReason, Ufm, UfmStatus, Uim, Unm, UnmLayer,
@@ -12,219 +13,243 @@ use p4update::messages::{
 };
 use p4update::net::{FlowId, FlowUpdate, NodeId, Path, Version};
 
+/// Default cases per property; the `proptest` feature multiplies by 16.
+fn n_cases() -> u32 {
+    let base = 256;
+    if cfg!(feature = "proptest") {
+        cases(base * 16)
+    } else {
+        cases(base)
+    }
+}
+
 // ---------- generators ----------
 
-fn arb_simple_path(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
-    // A shuffled prefix of 0..32 gives a simple path.
-    (2..=max_len).prop_flat_map(|len| {
-        Just((0u32..32).collect::<Vec<u32>>())
-            .prop_shuffle()
-            .prop_map(move |v| v[..len].to_vec())
-    })
+/// A simple path: a shuffled prefix (length in `2..=max_len`) of `0..32`.
+fn gen_simple_path(rng: &mut SimRng, max_len: usize) -> Vec<u32> {
+    let len = 2 + rng.uniform_usize(max_len - 1);
+    let mut pool: Vec<u32> = (0..32).collect();
+    rng.shuffle(&mut pool);
+    pool.truncate(len);
+    pool
 }
 
-fn arb_update() -> impl Strategy<Value = FlowUpdate> {
-    // Old and new path share ingress and egress; interiors drawn from
-    // disjoint-ish pools so both overlapping and disjoint cases appear.
-    (arb_simple_path(10), any::<u64>()).prop_map(|(nodes, seed)| {
-        let mut rng = SimRng::new(seed);
-        let ingress = nodes[0];
-        let egress = *nodes.last().expect("len >= 2");
-        let interior = &nodes[1..nodes.len() - 1];
-        // Old path: ingress + random subset of interior + egress.
-        let mut old = vec![ingress];
-        for &n in interior {
-            if rng.chance(0.5) {
-                old.push(n);
-            }
+/// Old and new path share ingress and egress; the old interior is a random
+/// subset of the new interior so both overlapping and disjoint cases appear.
+fn gen_update(rng: &mut SimRng) -> FlowUpdate {
+    let nodes = gen_simple_path(rng, 10);
+    let ingress = nodes[0];
+    let egress = *nodes.last().expect("len >= 2");
+    let interior = &nodes[1..nodes.len() - 1];
+    let mut old = vec![ingress];
+    for &n in interior {
+        if rng.chance(0.5) {
+            old.push(n);
         }
-        old.push(egress);
-        let to_path = |v: &[u32]| Path::new(v.iter().map(|&i| NodeId(i)).collect());
-        FlowUpdate::new(
-            FlowId(0),
-            Some(to_path(&old)),
-            to_path(&nodes),
-            1.0 + rng.uniform_f64(),
-        )
-    })
-}
-
-fn arb_kind() -> impl Strategy<Value = UpdateKind> {
-    prop_oneof![Just(UpdateKind::Single), Just(UpdateKind::Dual)]
-}
-
-fn arb_layer() -> impl Strategy<Value = UnmLayer> {
-    prop_oneof![Just(UnmLayer::Inter), Just(UnmLayer::Intra)]
-}
-
-fn arb_unm() -> impl Strategy<Value = Unm> {
-    (
-        0u32..8,
-        0u32..8,
-        0u32..12,
-        0u32..12,
-        0u32..20,
-        arb_kind(),
-        arb_layer(),
+    }
+    old.push(egress);
+    let to_path = |v: &[u32]| Path::new(v.iter().map(|&i| NodeId(i)).collect());
+    FlowUpdate::new(
+        FlowId(0),
+        Some(to_path(&old)),
+        to_path(&nodes),
+        1.0 + rng.uniform_f64(),
     )
-        .prop_map(|(vn, vo, dn, dold, counter, kind, layer)| Unm {
-            flow: FlowId(0),
-            v_new: Version(vn),
-            v_old: Version(vo),
-            d_new: dn,
-            d_old: dold,
-            counter,
-            kind,
-            layer,
-        })
 }
 
-fn arb_entry() -> impl Strategy<Value = UibEntry> {
-    (
-        0u32..8,
-        0u32..12,
-        0u32..8,
-        0u32..12,
-        0u32..8,
-        0u32..12,
-        proptest::option::of(arb_kind()),
-        proptest::option::of(arb_kind()),
-        0u32..20,
-    )
-        .prop_map(
-            |(uv, ud, av, ad, ov, od, uk, lt, counter)| UibEntry {
-                uim_version: Version(uv),
-                uim_distance: ud,
-                uim_kind: uk,
-                applied_version: Version(av),
-                applied_distance: ad,
-                old_version: Version(ov),
-                old_distance: od,
-                last_update_type: lt,
-                counter,
-                staged_next_hop: Some(NodeId(1)),
-                ..UibEntry::default()
-            },
-        )
+fn gen_kind(rng: &mut SimRng) -> UpdateKind {
+    if rng.chance(0.5) {
+        UpdateKind::Single
+    } else {
+        UpdateKind::Dual
+    }
+}
+
+fn gen_opt_kind(rng: &mut SimRng) -> Option<UpdateKind> {
+    if rng.chance(0.5) {
+        None
+    } else {
+        Some(gen_kind(rng))
+    }
+}
+
+fn gen_layer(rng: &mut SimRng) -> UnmLayer {
+    if rng.chance(0.5) {
+        UnmLayer::Inter
+    } else {
+        UnmLayer::Intra
+    }
+}
+
+fn gen_u32(rng: &mut SimRng, bound: u32) -> u32 {
+    rng.uniform_usize(bound as usize) as u32
+}
+
+fn gen_unm(rng: &mut SimRng) -> Unm {
+    Unm {
+        flow: FlowId(0),
+        v_new: Version(gen_u32(rng, 8)),
+        v_old: Version(gen_u32(rng, 8)),
+        d_new: gen_u32(rng, 12),
+        d_old: gen_u32(rng, 12),
+        counter: gen_u32(rng, 20),
+        kind: gen_kind(rng),
+        layer: gen_layer(rng),
+    }
+}
+
+fn gen_entry(rng: &mut SimRng) -> UibEntry {
+    UibEntry {
+        uim_version: Version(gen_u32(rng, 8)),
+        uim_distance: gen_u32(rng, 12),
+        uim_kind: gen_opt_kind(rng),
+        applied_version: Version(gen_u32(rng, 8)),
+        applied_distance: gen_u32(rng, 12),
+        old_version: Version(gen_u32(rng, 8)),
+        old_distance: gen_u32(rng, 12),
+        last_update_type: gen_opt_kind(rng),
+        counter: gen_u32(rng, 20),
+        staged_next_hop: Some(NodeId(1)),
+        ..UibEntry::default()
+    }
 }
 
 // ---------- properties ----------
 
-proptest! {
-    /// Labels: distances strictly decrease toward the egress; successors
-    /// and upstreams mirror each other; egress-first ordering.
-    #[test]
-    fn labels_are_a_valid_distance_proof(update in arb_update()) {
+/// Labels: distances strictly decrease toward the egress; successors and
+/// upstreams mirror each other; egress-first ordering.
+#[test]
+fn labels_are_a_valid_distance_proof() {
+    forall("labels_are_a_valid_distance_proof", n_cases(), |rng| {
+        let update = gen_update(rng);
         let labels = label_path(&update);
-        prop_assert_eq!(labels.len(), update.new_path.nodes().len());
-        prop_assert_eq!(labels[0].new_distance, 0);
-        prop_assert!(labels[0].next_hop.is_none());
+        assert_eq!(labels.len(), update.new_path.nodes().len());
+        assert_eq!(labels[0].new_distance, 0);
+        assert!(labels[0].next_hop.is_none());
         for w in labels.windows(2) {
-            prop_assert_eq!(w[1].new_distance, w[0].new_distance + 1);
-            prop_assert_eq!(w[1].next_hop, Some(w[0].node));
-            prop_assert_eq!(w[0].upstream, Some(w[1].node));
+            assert_eq!(w[1].new_distance, w[0].new_distance + 1);
+            assert_eq!(w[1].next_hop, Some(w[0].node));
+            assert_eq!(w[0].upstream, Some(w[1].node));
         }
-    }
+    });
+}
 
-    /// Segmentation: gateways appear on both paths in new-path order;
-    /// segments tile the new path exactly; interiors are fresh nodes.
-    #[test]
-    fn segmentation_tiles_the_new_path(update in arb_update()) {
+/// Segmentation: gateways appear on both paths in new-path order; segments
+/// tile the new path exactly; interiors are fresh nodes.
+#[test]
+fn segmentation_tiles_the_new_path() {
+    forall("segmentation_tiles_the_new_path", n_cases(), |rng| {
+        let update = gen_update(rng);
         let seg = segment_update(&update);
         let old = update.old_path.as_ref().expect("generated with old path");
-        // Gateways lie on both paths.
         for &g in &seg.gateways {
-            prop_assert!(update.new_path.contains(g));
-            prop_assert!(old.contains(g));
+            assert!(update.new_path.contains(g));
+            assert!(old.contains(g));
         }
-        // Tiling.
         let mut covered = vec![seg.gateways[0]];
         for s in &seg.segments {
-            prop_assert_eq!(*covered.last().expect("non-empty"), s.ingress_gateway);
+            assert_eq!(*covered.last().expect("non-empty"), s.ingress_gateway);
             covered.extend(&s.interior);
             covered.push(s.egress_gateway);
-            // Interiors are not on the old path.
             for &i in &s.interior {
-                prop_assert!(!old.contains(i));
+                assert!(!old.contains(i));
             }
         }
-        prop_assert_eq!(covered.as_slice(), update.new_path.nodes());
-    }
+        assert_eq!(covered.as_slice(), update.new_path.nodes());
+    });
+}
 
-    /// Algorithm 1 soundness: an accepting verdict implies the version
-    /// matches the staged UIM exactly, the distance label fits
-    /// (`D_n(v) = D_n(UNM) + 1`), and the node had not applied it yet.
-    #[test]
-    fn alg1_accepts_only_consistent_notifications(
-        entry in arb_entry(),
-        unm in arb_unm(),
-    ) {
-        if verify_sl(&entry, &unm) == Verdict::Accept {
-            prop_assert_eq!(unm.v_new, entry.uim_version);
-            prop_assert_eq!(entry.uim_distance, unm.d_new.wrapping_add(1));
-            prop_assert!(entry.applied_version < unm.v_new);
-        }
-    }
-
-    /// Algorithm 2 soundness: every accepting verdict requires the exact
-    /// distance fit; gateway acceptance additionally requires the
-    /// old-distance gate and the single-layer precondition.
-    #[test]
-    fn alg2_accepts_only_consistent_notifications(
-        entry in arb_entry(),
-        unm in arb_unm(),
-    ) {
-        match verify(&entry, &unm) {
-            Verdict::AcceptInterior => {
-                prop_assert_eq!(unm.v_new, entry.uim_version);
-                prop_assert_eq!(entry.uim_distance, unm.d_new.wrapping_add(1));
-                prop_assert!(Version(entry.applied_version.0 + 1) < unm.v_new);
+/// Algorithm 1 soundness: an accepting verdict implies the version matches
+/// the staged UIM exactly, the distance label fits
+/// (`D_n(v) = D_n(UNM) + 1`), and the node had not applied it yet.
+#[test]
+fn alg1_accepts_only_consistent_notifications() {
+    forall(
+        "alg1_accepts_only_consistent_notifications",
+        n_cases(),
+        |rng| {
+            let entry = gen_entry(rng);
+            let unm = gen_unm(rng);
+            if verify_sl(&entry, &unm) == Verdict::Accept {
+                assert_eq!(unm.v_new, entry.uim_version);
+                assert_eq!(entry.uim_distance, unm.d_new.wrapping_add(1));
+                assert!(entry.applied_version < unm.v_new);
             }
-            Verdict::AcceptGateway => {
-                prop_assert_eq!(unm.v_new, entry.uim_version);
-                prop_assert_eq!(entry.uim_distance, unm.d_new.wrapping_add(1));
-                prop_assert!(entry.old_distance > unm.d_old);
-                prop_assert!(entry.last_update_type != Some(UpdateKind::Dual));
-            }
-            Verdict::PassAlong
-                if unm.kind == UpdateKind::Dual
-                    && entry.uim_kind == Some(UpdateKind::Dual) =>
-            {
-                // The dual layer only forwards with progress: smaller old
-                // distance or a counter tie-break. (Single-layer
-                // pass-alongs are §11 recovery relays and carry no
-                // inheritance.)
-                prop_assert!(
-                    entry.old_distance > unm.d_old
-                        || (entry.old_distance == unm.d_old && entry.counter > unm.counter)
-                );
-            }
-            _ => {}
-        }
-    }
+        },
+    );
+}
 
-    /// Verification is a pure function: same inputs, same verdict.
-    #[test]
-    fn verification_is_deterministic(entry in arb_entry(), unm in arb_unm()) {
-        prop_assert_eq!(verify(&entry, &unm), verify(&entry, &unm));
-    }
+/// Algorithm 2 soundness: every accepting verdict requires the exact
+/// distance fit; gateway acceptance additionally requires the old-distance
+/// gate and the single-layer precondition.
+#[test]
+fn alg2_accepts_only_consistent_notifications() {
+    forall(
+        "alg2_accepts_only_consistent_notifications",
+        n_cases(),
+        |rng| {
+            let entry = gen_entry(rng);
+            let unm = gen_unm(rng);
+            match verify(&entry, &unm) {
+                Verdict::AcceptInterior => {
+                    assert_eq!(unm.v_new, entry.uim_version);
+                    assert_eq!(entry.uim_distance, unm.d_new.wrapping_add(1));
+                    assert!(Version(entry.applied_version.0 + 1) < unm.v_new);
+                }
+                Verdict::AcceptGateway => {
+                    assert_eq!(unm.v_new, entry.uim_version);
+                    assert_eq!(entry.uim_distance, unm.d_new.wrapping_add(1));
+                    assert!(entry.old_distance > unm.d_old);
+                    assert!(entry.last_update_type != Some(UpdateKind::Dual));
+                }
+                Verdict::PassAlong
+                    if unm.kind == UpdateKind::Dual && entry.uim_kind == Some(UpdateKind::Dual) =>
+                {
+                    // The dual layer only forwards with progress: smaller old
+                    // distance or a counter tie-break. (Single-layer pass-alongs
+                    // are §11 recovery relays and carry no inheritance.)
+                    assert!(
+                        entry.old_distance > unm.d_old
+                            || (entry.old_distance == unm.d_old && entry.counter > unm.counter)
+                    );
+                }
+                _ => {}
+            }
+        },
+    );
+}
 
-    /// Wire codec: every encodable message round-trips bit-exactly.
-    #[test]
-    fn wire_roundtrip(
-        flow in 0u32..1000,
-        seq in any::<u32>(),
-        ttl in any::<u8>(),
-        version in 0u32..100,
-        d in 0u32..64,
-        size in 0.0f64..1e6,
-        kind in arb_kind(),
-        layer in arb_layer(),
-        next in proptest::option::of(0u32..64),
-        up in proptest::option::of(0u32..64),
-    ) {
+/// Verification is a pure function: same inputs, same verdict.
+#[test]
+fn verification_is_deterministic() {
+    forall("verification_is_deterministic", n_cases(), |rng| {
+        let entry = gen_entry(rng);
+        let unm = gen_unm(rng);
+        assert_eq!(verify(&entry, &unm), verify(&entry, &unm));
+    });
+}
+
+/// Wire codec: every encodable message round-trips bit-exactly.
+#[test]
+fn wire_roundtrip() {
+    forall("wire_roundtrip", n_cases(), |rng| {
+        let flow = gen_u32(rng, 1000);
+        let seq = rng.next_u32();
+        let ttl = (rng.next_u32() & 0xFF) as u8;
+        let version = gen_u32(rng, 100);
+        let d = gen_u32(rng, 64);
+        let size = rng.uniform_range(0.0, 1e6);
+        let kind = gen_kind(rng);
+        let layer = gen_layer(rng);
+        let next = rng.chance(0.5).then(|| NodeId(gen_u32(rng, 64)));
+        let up = rng.chance(0.5).then(|| NodeId(gen_u32(rng, 64)));
         let msgs = vec![
-            Message::Data(DataPacket { flow: FlowId(flow), seq, ttl, tag: None }),
+            Message::Data(DataPacket {
+                flow: FlowId(flow),
+                seq,
+                ttl,
+                tag: None,
+            }),
             Message::Frm(Frm {
                 flow: FlowId(flow),
                 ingress: NodeId(d),
@@ -235,8 +260,8 @@ proptest! {
                 version: Version(version),
                 new_distance: d,
                 flow_size: size,
-                next_hop: next.map(NodeId),
-                upstream: up.map(NodeId),
+                next_hop: next,
+                upstream: up,
                 kind,
             }),
             Message::Unm(Unm {
@@ -258,68 +283,85 @@ proptest! {
         ];
         for msg in msgs {
             let wire = encode(&msg).expect("encodable");
-            prop_assert_eq!(decode(wire).expect("decodable"), msg);
+            assert_eq!(decode(&wire).expect("decodable"), msg);
         }
-    }
+    });
+}
 
-    /// UIB storage: write/read round-trips arbitrary entries across many
-    /// flows without crosstalk.
-    #[test]
-    fn uib_roundtrip_without_crosstalk(entries in proptest::collection::vec(arb_entry(), 1..20)) {
+/// UIB storage: write/read round-trips arbitrary entries across many flows
+/// without crosstalk.
+#[test]
+fn uib_roundtrip_without_crosstalk() {
+    forall("uib_roundtrip_without_crosstalk", n_cases(), |rng| {
+        let entries: Vec<UibEntry> = (0..1 + rng.uniform_usize(19))
+            .map(|_| gen_entry(rng))
+            .collect();
         let mut uib = Uib::new();
         for (i, e) in entries.iter().enumerate() {
             uib.write(FlowId(i as u32), *e);
         }
         for (i, e) in entries.iter().enumerate() {
-            prop_assert_eq!(uib.read(FlowId(i as u32)), *e);
+            assert_eq!(uib.read(FlowId(i as u32)), *e);
         }
-    }
+    });
+}
 
-    /// Statistics: percentiles are monotone and bounded by min/max.
-    #[test]
-    fn percentiles_are_monotone(values in proptest::collection::vec(0.0f64..1e9, 1..200)) {
+/// Statistics: percentiles are monotone and bounded by min/max.
+#[test]
+fn percentiles_are_monotone() {
+    forall("percentiles_are_monotone", n_cases(), |rng| {
+        let values: Vec<f64> = (0..1 + rng.uniform_usize(199))
+            .map(|_| rng.uniform_range(0.0, 1e9))
+            .collect();
         let s = Samples::from_iter(values.iter().copied());
         let p25 = s.percentile(25.0);
         let p50 = s.percentile(50.0);
         let p75 = s.percentile(75.0);
-        prop_assert!(p25 <= p50 && p50 <= p75);
-        prop_assert!(s.min() <= p25 && p75 <= s.max());
+        assert!(p25 <= p50 && p50 <= p75);
+        assert!(s.min() <= p25 && p75 <= s.max());
         // CDF covers every sample exactly once.
-        prop_assert_eq!(s.cdf_points().len(), values.len());
-    }
+        assert_eq!(s.cdf_points().len(), values.len());
+    });
+}
 
-    /// Congestion scheduler: drained flows are exactly the parked ones,
-    /// high-priority first.
-    #[test]
-    fn scheduler_drain_is_a_priority_ordered_permutation(
-        flows in proptest::collection::vec(0u32..50, 1..30),
-        high_mask in any::<u64>(),
-    ) {
-        use p4update::core::CongestionScheduler;
-        let mut s = CongestionScheduler::new();
-        let mut unique: Vec<u32> = flows.clone();
-        unique.sort_unstable();
-        unique.dedup();
-        for &f in &flows {
-            s.park(NodeId(0), FlowId(f));
-        }
-        let prio = |f: FlowId| {
-            if high_mask & (1 << (f.0 % 64)) != 0 {
-                FlowPriority::High
-            } else {
-                FlowPriority::Low
+/// Congestion scheduler: drained flows are exactly the parked ones,
+/// high-priority first.
+#[test]
+fn scheduler_drain_is_a_priority_ordered_permutation() {
+    forall(
+        "scheduler_drain_is_a_priority_ordered_permutation",
+        n_cases(),
+        |rng| {
+            use p4update::core::CongestionScheduler;
+            let flows: Vec<u32> = (0..1 + rng.uniform_usize(29))
+                .map(|_| gen_u32(rng, 50))
+                .collect();
+            let high_mask = rng.next_u64();
+            let mut s = CongestionScheduler::new();
+            let mut unique: Vec<u32> = flows.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            for &f in &flows {
+                s.park(NodeId(0), FlowId(f));
             }
-        };
-        let order = s.drain(NodeId(0), prio);
-        prop_assert_eq!(order.len(), unique.len());
-        // Permutation of the parked set.
-        let mut sorted: Vec<u32> = order.iter().map(|f| f.0).collect();
-        sorted.sort_unstable();
-        prop_assert_eq!(sorted, unique);
-        // All highs precede all lows.
-        let first_low = order.iter().position(|&f| prio(f) == FlowPriority::Low);
-        if let Some(pos) = first_low {
-            prop_assert!(order[pos..].iter().all(|&f| prio(f) == FlowPriority::Low));
-        }
-    }
+            let prio = |f: FlowId| {
+                if high_mask & (1 << (f.0 % 64)) != 0 {
+                    FlowPriority::High
+                } else {
+                    FlowPriority::Low
+                }
+            };
+            let order = s.drain(NodeId(0), prio);
+            assert_eq!(order.len(), unique.len());
+            // Permutation of the parked set.
+            let mut sorted: Vec<u32> = order.iter().map(|f| f.0).collect();
+            sorted.sort_unstable();
+            assert_eq!(sorted, unique);
+            // All highs precede all lows.
+            let first_low = order.iter().position(|&f| prio(f) == FlowPriority::Low);
+            if let Some(pos) = first_low {
+                assert!(order[pos..].iter().all(|&f| prio(f) == FlowPriority::Low));
+            }
+        },
+    );
 }

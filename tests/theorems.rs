@@ -116,7 +116,11 @@ fn rapid_succession_converges_to_latest() {
             topo.clone(),
             &[(FlowId(0), old.clone(), 1.0)],
         );
-        assert!(world.violations.is_empty(), "seed {seed}: {:?}", world.violations);
+        assert!(
+            world.violations.is_empty(),
+            "seed {seed}: {:?}",
+            world.violations
+        );
         // Converged to V3's route (the old path again).
         let e = world.switches[&NodeId(0)].state.uib.read(FlowId(0));
         assert_eq!(e.applied_version, Version(3), "seed {seed}");
@@ -185,10 +189,7 @@ fn random_topology_migrations_stay_consistent() {
                 world.violations
             );
             assert!(
-                world
-                    .metrics
-                    .completion_of(FlowId(0), Version(2))
-                    .is_some(),
+                world.metrics.completion_of(FlowId(0), Version(2)).is_some(),
                 "round {round} {strategy:?}: never completed"
             );
         }

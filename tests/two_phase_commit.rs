@@ -22,7 +22,15 @@ fn pivot_topology() -> (Topology, Path, Path) {
     let mut b = TopologyBuilder::new("pivot");
     let v: Vec<NodeId> = (0..6).map(|i| b.add_node(format!("v{i}"))).collect();
     let lat = SimDuration::from_millis(10);
-    for (x, y) in [(0usize, 1usize), (1, 2), (2, 5), (0, 3), (3, 2), (2, 4), (4, 5)] {
+    for (x, y) in [
+        (0usize, 1usize),
+        (1, 2),
+        (2, 5),
+        (0, 3),
+        (3, 2),
+        (2, 4),
+        (4, 5),
+    ] {
         b.add_link(v[x], v[y], lat, 1_000.0);
     }
     let p = |ids: &[u32]| Path::new(ids.iter().map(|&i| NodeId(i)).collect());
@@ -42,7 +50,12 @@ fn tagged_packets_never_mix_generations() {
     let mut world = NetworkSim::new(topo, System::P4Update(Strategy::ForceSingle), config, None);
     world.install_initial_path(flow, &old, 1.0);
     world.enable_two_phase_commit();
-    let batch = world.add_batch(vec![FlowUpdate::new(flow, Some(old.clone()), new.clone(), 1.0)]);
+    let batch = world.add_batch(vec![FlowUpdate::new(
+        flow,
+        Some(old.clone()),
+        new.clone(),
+        1.0,
+    )]);
 
     let mut sim = simulation(world);
     // Trigger at 100 ms; stream packets from 0 to 2 s (the migration takes
@@ -88,10 +101,10 @@ fn tagged_packets_never_mix_generations() {
             "packet {seq} mixed generations: {nodes:?}"
         );
         // Count only completed traversals.
-        if *in_old.then_some(&nodes.len()).unwrap_or(&0) == old_set.len() {
+        if in_old && nodes.len() == old_set.len() {
             via_old += 1;
         }
-        if *in_new.then_some(&nodes.len()).unwrap_or(&0) == new_set.len() {
+        if in_new && nodes.len() == new_set.len() {
             via_new += 1;
         }
     }
@@ -100,7 +113,12 @@ fn tagged_packets_never_mix_generations() {
     assert!(via_new > 0, "no packet completed the new path");
 
     // Every packet is delivered: no loss during the tagged migration.
-    assert_eq!(world.metrics.deliveries.len(), 200, "lost packets: {:?}", world.metrics.drops);
+    assert_eq!(
+        world.metrics.deliveries.len(),
+        200,
+        "lost packets: {:?}",
+        world.metrics.drops
+    );
 }
 
 /// Without tagging, the same migration forwards some packets over mixed
@@ -115,7 +133,12 @@ fn untagged_packets_do_mix_generations() {
     let mut world = NetworkSim::new(topo, System::P4Update(Strategy::ForceSingle), config, None);
     world.install_initial_path(flow, &old, 1.0);
     // No enable_two_phase_commit().
-    let batch = world.add_batch(vec![FlowUpdate::new(flow, Some(old.clone()), new.clone(), 1.0)]);
+    let batch = world.add_batch(vec![FlowUpdate::new(
+        flow,
+        Some(old.clone()),
+        new.clone(),
+        1.0,
+    )]);
     let mut sim = simulation(world);
     sim.schedule_at(
         SimTime::ZERO + SimDuration::from_millis(100),
