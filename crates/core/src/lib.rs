@@ -20,6 +20,8 @@
 //! - [`controller`] — the control plane (§6): flow database, update
 //!   preparation (the Fig. 8 measurement target), strategy choice (§7.5),
 //!   feedback handling.
+//! - [`violation`] — the three safety properties' violation reports, with
+//!   the stable text encoding the explorer's trace corpus relies on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +32,7 @@ pub mod label;
 pub mod segment;
 pub mod switch_logic;
 pub mod verify;
+pub mod violation;
 
 pub use congestion::{Admission, BlockReason, CongestionScheduler};
 pub use controller::{
@@ -39,3 +42,4 @@ pub use label::{label_path, old_distances, uim_for, NodeLabel};
 pub use segment::{segment_update, Segment, SegmentDir, Segmentation};
 pub use switch_logic::{P4UpdateCounters, P4UpdateLogic};
 pub use verify::{verify, verify_dl, verify_sl, Verdict};
+pub use violation::Violation;

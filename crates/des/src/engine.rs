@@ -5,7 +5,13 @@
 //! to: two events at the same instant are delivered in the order they were
 //! scheduled (FIFO tie-break on a monotonically increasing sequence number),
 //! so a run is a pure function of (world, seed).
+//!
+//! The FIFO tie-break is one *policy* behind the [`Chooser`] seam: the
+//! default [`FifoChooser`] reproduces it exactly, while an exploring
+//! chooser (see `p4update-explore`) may pick any of the tied events and
+//! thereby steer the run through a different interleaving.
 
+use crate::choice::{ChoiceKind, Chooser, FifoChooser};
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -55,6 +61,7 @@ pub struct Scheduler<E> {
     queue: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     now: SimTime,
+    chooser: Box<dyn Chooser>,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -64,13 +71,36 @@ impl<E> Default for Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    /// An empty scheduler at t = 0.
+    /// An empty scheduler at t = 0 with the default FIFO tie-break policy.
     pub fn new() -> Self {
         Scheduler {
             queue: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            chooser: Box::new(FifoChooser),
         }
+    }
+
+    /// Replace the choice-point policy (tie-breaks and world-level
+    /// decisions). The default is [`FifoChooser`].
+    pub fn set_chooser(&mut self, chooser: Box<dyn Chooser>) {
+        self.chooser = chooser;
+    }
+
+    /// Resolve a world-level choice point (e.g., a per-message fault
+    /// decision) through the installed chooser. `arity` must be at least 1;
+    /// the result is always in `[0, arity)`, and `0` means "default".
+    pub fn choose(&mut self, kind: ChoiceKind, arity: usize) -> usize {
+        assert!(arity >= 1, "choice point with no alternatives");
+        if arity == 1 {
+            return 0;
+        }
+        let pick = self.chooser.choose(kind, arity);
+        assert!(
+            pick < arity,
+            "chooser picked {pick} at a {kind:?} choice point of arity {arity}"
+        );
+        pick
     }
 
     /// Current simulated time (the timestamp of the event being handled).
@@ -98,8 +128,41 @@ impl<E> Scheduler<E> {
         self.queue.len()
     }
 
+    /// Remove and return the next event to deliver.
+    ///
+    /// With the trivial (FIFO) chooser this is a plain heap pop. With an
+    /// exploring chooser, all events tied at the earliest timestamp are
+    /// gathered in FIFO order and presented as a [`ChoiceKind::TieBreak`]
+    /// choice point; the unchosen ones go back on the queue (their original
+    /// sequence numbers keep the relative FIFO order stable).
     fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.queue.pop()
+        if self.chooser.is_trivial() {
+            return self.queue.pop();
+        }
+        let first = self.queue.pop()?;
+        let at = first.at;
+        // The heap pops same-time events in increasing sequence order, so
+        // `tied` is in FIFO order and index 0 is the historical pick.
+        let mut tied = vec![first];
+        while self.queue.peek().is_some_and(|s| s.at == at) {
+            tied.push(self.queue.pop().expect("peeked event exists"));
+        }
+        let pick = if tied.len() == 1 {
+            0
+        } else {
+            let pick = self.chooser.choose(ChoiceKind::TieBreak, tied.len());
+            assert!(
+                pick < tied.len(),
+                "chooser picked {pick} at a tie of arity {}",
+                tied.len()
+            );
+            pick
+        };
+        let chosen = tied.remove(pick);
+        for other in tied {
+            self.queue.push(other);
+        }
+        Some(chosen)
     }
 }
 
@@ -160,6 +223,12 @@ impl<W: World> Simulation<W> {
     /// Replace the livelock guard (delivered-event cap).
     pub fn with_event_budget(mut self, budget: u64) -> Self {
         self.event_budget = budget;
+        self
+    }
+
+    /// Replace the choice-point policy (see [`Scheduler::set_chooser`]).
+    pub fn with_chooser(mut self, chooser: Box<dyn Chooser>) -> Self {
+        self.sched.set_chooser(chooser);
         self
     }
 
@@ -377,6 +446,74 @@ mod tests {
         sim.schedule_at(ms(10), 0);
         sim.run();
         assert_eq!(sim.world().second_delivery, Some(ms(10)));
+    }
+
+    /// Picks alternative 0 like FIFO, but through the non-trivial seam
+    /// path (tie sets are gathered and presented).
+    struct ExplicitFifo;
+    impl Chooser for ExplicitFifo {
+        fn choose(&mut self, _kind: ChoiceKind, _arity: usize) -> usize {
+            0
+        }
+    }
+
+    /// Always picks the newest tied event (reverses FIFO).
+    struct Lifo;
+    impl Chooser for Lifo {
+        fn choose(&mut self, _kind: ChoiceKind, arity: usize) -> usize {
+            arity - 1
+        }
+    }
+
+    /// Regression pin for the choice-point seam: the default policy is
+    /// FIFO, and routing the same run through an explicit always-0 chooser
+    /// (the non-trivial seam path) delivers the identical order.
+    #[test]
+    fn default_policy_is_fifo_and_choosing_zero_matches_it() {
+        let run = |chooser: Option<Box<dyn Chooser>>| -> Vec<u32> {
+            let mut sim = Simulation::new(Recorder { seen: vec![] });
+            if let Some(c) = chooser {
+                sim = sim.with_chooser(c);
+            }
+            for i in 0..50 {
+                sim.schedule_at(ms(5), i);
+                sim.schedule_at(ms(9), 100 + i);
+            }
+            assert!(sim.run().drained());
+            sim.world().seen.iter().map(|&(_, e)| e).collect()
+        };
+        let default_order = run(None);
+        let explicit_fifo = run(Some(Box::new(ExplicitFifo)));
+        assert_eq!(default_order, explicit_fifo);
+        let expected: Vec<u32> = (0..50).chain(100..150).collect();
+        assert_eq!(default_order, expected);
+    }
+
+    /// The seam is live: a non-FIFO chooser really changes tie delivery
+    /// order (and only tie delivery order — time order is untouched).
+    #[test]
+    fn lifo_chooser_reverses_ties_but_not_time_order() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] }).with_chooser(Box::new(Lifo));
+        for i in 0..10 {
+            sim.schedule_at(ms(5), i);
+        }
+        sim.schedule_at(ms(1), 99);
+        assert!(sim.run().drained());
+        let order: Vec<u32> = sim.world().seen.iter().map(|&(_, e)| e).collect();
+        let mut expected: Vec<u32> = vec![99];
+        expected.extend((0..10).rev());
+        assert_eq!(order, expected);
+    }
+
+    /// World-level choice points resolve through the same chooser, with
+    /// arity-1 decisions short-circuited to the default.
+    #[test]
+    fn scheduler_choose_consults_the_chooser() {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        assert_eq!(sched.choose(ChoiceKind::Fault, 4), 0);
+        sched.set_chooser(Box::new(Lifo));
+        assert_eq!(sched.choose(ChoiceKind::Fault, 4), 3);
+        assert_eq!(sched.choose(ChoiceKind::Fault, 1), 0);
     }
 
     #[test]

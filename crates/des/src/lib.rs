@@ -15,7 +15,12 @@
 //!
 //! - [`SimTime`] / [`SimDuration`]: integer-nanosecond simulated time.
 //! - [`World`] / [`Simulation`] / [`Scheduler`]: the event loop. Ties are
-//!   broken FIFO, so same-instant events are delivered in scheduling order.
+//!   broken FIFO by default, so same-instant events are delivered in
+//!   scheduling order.
+//! - [`Chooser`] / [`ChoiceKind`]: the choice-point seam. Tie-breaks (and
+//!   world-defined decisions like per-message faults) route through a
+//!   pluggable policy, which is how the `p4update-explore` crate drives
+//!   the engine through many interleavings and replays recorded ones.
 //! - [`SimRng`]: seedable RNG with the exponential / truncated-normal
 //!   samplers the paper's timing model needs (§9.1).
 //! - [`Samples`]: empirical CDFs, means, confidence intervals for the
@@ -26,12 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod choice;
 mod engine;
 pub mod propcheck;
 mod rng;
 mod stats;
 mod time;
 
+pub use choice::{ChoiceKind, Chooser, FifoChooser};
 pub use engine::{RunOutcome, Scheduler, Simulation, World};
 pub use rng::SimRng;
 pub use stats::Samples;

@@ -1,0 +1,198 @@
+//! The scenario registry: named, deterministic simulation setups the
+//! explorer searches over and committed traces replay against.
+//!
+//! A scenario fixes everything except the choice sequence: topology,
+//! system under test, update batch, timing model, trigger time, and
+//! horizon. Together with a seed it determines the base run exactly; a
+//! [`crate::Trace`] then only needs `(scenario, seed, choices)` to
+//! reproduce a schedule bit-for-bit.
+//!
+//! Every scenario enables `paranoid` checking (the oracle), enables
+//! choice-point fault injection with the default delay, and *disables*
+//! the static analysis gate explicitly — the gate defaults to
+//! debug-builds-only, and a committed trace must replay identically in
+//! debug and release CI runs.
+
+use p4update_core::Strategy;
+use p4update_des::{SimDuration, SimTime};
+use p4update_net::{topologies, FlowId, FlowUpdate, Path};
+use p4update_sim::{
+    simulation, Event, FaultChoiceConfig, NetworkSim, SimConfig, System, TimingConfig,
+};
+
+/// A named scenario's metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioInfo {
+    /// Registry name (what trace files reference).
+    pub name: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    /// Whether an adversarial schedule is *expected* to break this
+    /// scenario. P4Update scenarios are marked `false`: a search hit
+    /// against one of them is a bug in the implementation, and CI treats
+    /// it as such.
+    pub vulnerable: bool,
+}
+
+/// All registered scenarios.
+pub const SCENARIOS: &[ScenarioInfo] = &[
+    ScenarioInfo {
+        name: "fig2-ez",
+        about: "Fig. 2 slow-detour chain, ez-Segway deploying (c) from the \
+                paper's stale state: faulting v2's repair yields the loop",
+        vulnerable: true,
+    },
+    ScenarioInfo {
+        name: "fig2-p4",
+        about: "Fig. 2 slow-detour chain, P4Update (single-layer) on the \
+                identical stale-state deployment: must never loop",
+        vulnerable: false,
+    },
+    ScenarioInfo {
+        name: "fig1-single",
+        about: "Fig. 1 topology, P4Update single-layer, the paper's \
+                8-node update",
+        vulnerable: false,
+    },
+    ScenarioInfo {
+        name: "fig1-dual",
+        about: "Fig. 1 topology, P4Update dual-layer, the paper's \
+                8-node update",
+        vulnerable: false,
+    },
+    ScenarioInfo {
+        name: "multigw-dual",
+        about: "11-node many-gateway update, P4Update dual-layer: \
+                alternating forward/backward segments (Alg. 2)",
+        vulnerable: false,
+    },
+];
+
+/// A built scenario: the ready-to-run simulation (trigger already
+/// scheduled, chooser not yet installed) and the horizon to run to.
+pub struct BuiltScenario {
+    /// The simulation; attach a chooser with
+    /// [`p4update_des::Simulation::with_chooser`] before running.
+    pub sim: p4update_des::Simulation<NetworkSim>,
+    /// Run horizon (scenarios with injected faults may stall, so runs are
+    /// time-bounded rather than drained).
+    pub horizon: SimTime,
+}
+
+/// List the registered scenario names.
+pub fn names() -> Vec<&'static str> {
+    SCENARIOS.iter().map(|s| s.name).collect()
+}
+
+/// Build `name` at `seed`. Returns `None` for unknown names.
+pub fn build(name: &str, seed: u64) -> Option<BuiltScenario> {
+    match name {
+        "fig2-ez" => Some(fig2(System::EzSegway { congestion: false }, seed)),
+        "fig2-p4" => Some(fig2(System::P4Update(Strategy::ForceSingle), seed)),
+        "fig1-single" => Some(fig1(Strategy::ForceSingle, seed)),
+        "fig1-dual" => Some(fig1(Strategy::ForceDual, seed)),
+        "multigw-dual" => Some(multi_gateway(seed)),
+        _ => None,
+    }
+}
+
+fn explore_config(timing: TimingConfig, seed: u64) -> SimConfig {
+    SimConfig::new(timing, seed)
+        .paranoid()
+        .with_analysis_gate(false)
+        .with_fault_choices(FaultChoiceConfig::default())
+}
+
+/// The Fig. 2 deployment (§4.1), starting from the paper's inconsistent
+/// premise: config (a) is what the switches actually run, but the
+/// controller believes (b) is in place (its push to `v2` was lost) and
+/// now deploys (c). Two in-band chains race: one repairs
+/// `v2 → v4`, the other installs `v3 → v1` and flips `v0`. Over
+/// [`topologies::fig2_chain_slow_detour`] the repair wins under the
+/// default schedule — the base run is clean — so the adversary must
+/// *find* a deviation (drop or outlast the repair) to expose the
+/// `v3 → v1 → v2 → v3` loop. ez-Segway trusts the controller's stale
+/// view and walks into it; P4Update's local verification keeps upstream
+/// activation waiting for provably consistent downstream state.
+fn fig2(system: System, seed: u64) -> BuiltScenario {
+    let topo = topologies::fig2_chain_slow_detour();
+    let flow = FlowId(0);
+    let config_a = Path::new(topologies::fig2_config_a());
+    let config_b = Path::new(topologies::fig2_config_b());
+    let config_c = Path::new(topologies::fig2_config_c());
+    let config = explore_config(TimingConfig::wan_multi_flow(topo.centroid()), seed);
+    let mut world = NetworkSim::new(topo, system, config, None);
+    world.install_initial_path(flow, &config_a, 1.0);
+    let batch = world.add_batch(vec![FlowUpdate::new(flow, Some(config_b), config_c, 1.0)]);
+    let mut sim = simulation(world);
+    sim.schedule_at(
+        SimTime::ZERO + SimDuration::from_millis(100),
+        Event::Trigger { batch },
+    );
+    BuiltScenario {
+        sim,
+        horizon: SimTime::ZERO + SimDuration::from_secs(10),
+    }
+}
+
+/// The Fig. 1 update (8 nodes, old `v0 v4 v2 v7`, new `v0 … v7`).
+fn fig1(strategy: Strategy, seed: u64) -> BuiltScenario {
+    let topo = topologies::fig1();
+    let flow = FlowId(0);
+    let old = Path::new(topologies::fig1_old_path());
+    let new = Path::new(topologies::fig1_new_path());
+    let config = explore_config(TimingConfig::wan_multi_flow(topo.centroid()), seed);
+    let mut world = NetworkSim::new(topo, System::P4Update(strategy), config, None);
+    world.install_initial_path(flow, &old, 1.0);
+    let batch = world.add_batch(vec![FlowUpdate::new(flow, Some(old.clone()), new, 1.0)]);
+    let mut sim = simulation(world);
+    sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+    BuiltScenario {
+        sim,
+        horizon: SimTime::ZERO + SimDuration::from_secs(120),
+    }
+}
+
+/// The many-gateway dual-layer update (see
+/// [`p4update_net::topologies::multi_gateway`]).
+fn multi_gateway(seed: u64) -> BuiltScenario {
+    let topo = topologies::multi_gateway();
+    let flow = FlowId(0);
+    let old = Path::new(topologies::multi_gateway_old_path());
+    let new = Path::new(topologies::multi_gateway_new_path());
+    let config = explore_config(TimingConfig::wan_multi_flow(topo.centroid()), seed);
+    let mut world = NetworkSim::new(topo, System::P4Update(Strategy::ForceDual), config, None);
+    world.install_initial_path(flow, &old, 1.0);
+    let batch = world.add_batch(vec![FlowUpdate::new(flow, Some(old.clone()), new, 1.0)]);
+    let mut sim = simulation(world);
+    sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+    BuiltScenario {
+        sim,
+        horizon: SimTime::ZERO + SimDuration::from_secs(120),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_builds() {
+        for info in SCENARIOS {
+            let built = build(info.name, 1);
+            assert!(built.is_some(), "{} did not build", info.name);
+        }
+        assert!(build("no-such-scenario", 1).is_none());
+    }
+
+    #[test]
+    fn scenarios_disable_the_analysis_gate_and_enable_choices() {
+        for info in SCENARIOS {
+            let built = build(info.name, 1).unwrap();
+            let cfg = built.sim.world().config();
+            assert!(cfg.paranoid, "{}: paranoid off", info.name);
+            assert!(!cfg.analysis_gate, "{}: gate on", info.name);
+            assert!(cfg.fault_choices.is_some(), "{}: no choices", info.name);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Counterexample shrinking: delta debugging over a failing trace's
+//! forced decisions.
+//!
+//! A random walk typically deviates at dozens of choice points, of which
+//! one or two actually matter. [`shrink`] minimizes the forced set with
+//! ddmin (Zeller & Hildebrandt): repeatedly re-run the scenario with
+//! subsets of the deviations and keep any subset that still triggers the
+//! target violation, then additionally lower each surviving pick toward
+//! the default. The result is canonicalized and pinned, so it lands in
+//! the corpus ready for byte-exact replay.
+
+use crate::trace::{ForcedChoice, FreePolicy, Trace};
+use crate::{pin, run, RunReport};
+use p4update_core::Violation;
+use std::collections::BTreeMap;
+
+/// A shrink result: the minimized trace and accounting.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized, canonicalized, pinned trace.
+    pub trace: Trace,
+    /// Report of the minimized trace's replay.
+    pub report: RunReport,
+    /// Simulation runs spent shrinking (including the pinning replay).
+    pub runs_used: u32,
+}
+
+/// Minimize `trace` while `target` stays among the replay's violations.
+///
+/// Errors if `trace` does not reproduce `target` to begin with, or on
+/// scenario failures. The returned trace is 1-minimal with respect to
+/// entry removal: deleting any single remaining forced decision loses the
+/// violation.
+pub fn shrink(trace: &Trace, target: &Violation) -> Result<ShrinkOutcome, String> {
+    let mut runs_used = 0;
+    let mut test = |choices: &BTreeMap<u64, ForcedChoice>| -> Result<bool, String> {
+        runs_used += 1;
+        let report = run(
+            &trace.scenario,
+            trace.seed,
+            choices.clone(),
+            FreePolicy::Default,
+        )?;
+        Ok(report.violations.contains(target))
+    };
+
+    if !test(&trace.choices)? {
+        return Err(format!(
+            "trace does not reproduce the target violation `{target}`"
+        ));
+    }
+
+    let mut current: Vec<(u64, ForcedChoice)> =
+        trace.choices.iter().map(|(&i, &c)| (i, c)).collect();
+
+    // Phase 1: ddmin over the entry list.
+    if !current.is_empty() && test(&BTreeMap::new())? {
+        current.clear();
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = None;
+        for i in 0..granularity {
+            let start = i * chunk;
+            if start >= current.len() {
+                break;
+            }
+            let end = (start + chunk).min(current.len());
+            // Complement: everything except chunk i.
+            let candidate: BTreeMap<u64, ForcedChoice> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .copied()
+                .collect();
+            if candidate.len() < current.len() && test(&candidate)? {
+                reduced = Some(candidate);
+                break;
+            }
+        }
+        match reduced {
+            Some(candidate) => {
+                current = candidate.into_iter().collect();
+                granularity = granularity.saturating_sub(1).max(2);
+            }
+            None => {
+                if granularity >= current.len() {
+                    break;
+                }
+                granularity = (granularity * 2).min(current.len());
+            }
+        }
+    }
+
+    // Phase 2: lower surviving picks toward the default (a duplicate that
+    // could have been a drop, a later tie pick that could have been an
+    // earlier one).
+    for entry_idx in 0..current.len() {
+        let (index, choice) = current[entry_idx];
+        for lower in 1..choice.pick {
+            let mut candidate: BTreeMap<u64, ForcedChoice> = current.iter().copied().collect();
+            candidate.insert(
+                index,
+                ForcedChoice {
+                    pick: lower,
+                    ..choice
+                },
+            );
+            if test(&candidate)? {
+                current[entry_idx].1.pick = lower;
+                break;
+            }
+        }
+    }
+
+    let mut minimized = Trace::new(trace.scenario.clone(), trace.seed);
+    minimized.choices = current.into_iter().collect();
+    let report = pin(&mut minimized)?;
+    runs_used += 1;
+    if !report.violations.contains(target) {
+        return Err("shrink lost the target violation while pinning".into());
+    }
+    Ok(ShrinkOutcome {
+        trace: minimized,
+        report,
+        runs_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{random_walk, WalkOptions};
+    use crate::verify_replay;
+
+    /// End-to-end tentpole property: search finds the Fig. 2 loop, shrink
+    /// reduces it to very few forced decisions, and the result is
+    /// 1-minimal and verifies byte-exactly.
+    #[test]
+    fn shrinks_the_fig2_counterexample_to_a_minimal_trace() {
+        let hit = random_walk("fig2-ez", 1, WalkOptions::default())
+            .unwrap()
+            .expect("walk must find the Fig. 2 loop");
+        let target = hit
+            .report
+            .violations
+            .iter()
+            .find(|v| matches!(v, Violation::Loop { .. }))
+            .expect("loop violation")
+            .clone();
+        let before = hit.trace.forced_count();
+        let out = shrink(&hit.trace, &target).unwrap();
+        let after = out.trace.forced_count();
+        assert!(after <= before, "shrinking must not grow the trace");
+        assert!(
+            after <= 3,
+            "Fig. 2 needs at most a couple of deviations, kept {after}"
+        );
+        assert!(out.report.violations.contains(&target));
+
+        // Pinned: replays with identical outcome, byte-identical text.
+        let replayed = verify_replay(&out.trace).unwrap();
+        assert_eq!(replayed.events, out.report.events);
+        let text = out.trace.to_text();
+        let reparsed = Trace::parse(&text).unwrap();
+        assert_eq!(reparsed.to_text(), text);
+
+        // 1-minimal: dropping any single forced decision loses the loop.
+        for &idx in out.trace.choices.keys() {
+            let mut fewer = out.trace.clone();
+            fewer.choices.remove(&idx);
+            let report = crate::replay(&fewer).unwrap();
+            assert!(
+                !report.violations.contains(&target),
+                "forced decision {idx} was removable"
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_rejects_a_trace_that_never_failed() {
+        let mut t = Trace::new("fig2-p4", 1);
+        crate::pin(&mut t).unwrap();
+        let bogus = Violation::Blackhole {
+            flow: p4update_net::FlowId(0),
+            at: p4update_net::NodeId(0),
+        };
+        assert!(shrink(&t, &bogus).is_err());
+    }
+}

@@ -3,6 +3,7 @@
 //! - `fig1()` — the 8-node synthetic topology of Fig. 1 (20 ms links).
 //! - `fig2_chain()` — the 5-node scenario of Fig. 2 (reordered updates).
 //! - `fig4_net()` — the 6-node two-consecutive-update scenario of §4.2.
+//! - `multi_gateway()` — 11-node many-gateway scenario (backward segments).
 //! - `fat_tree(k)` — DC topology, switch-level fat-tree.
 //! - `b4()` — Google's inter-DC WAN (12 nodes, 19 edges).
 //! - `internet2()` — the US research network (16 nodes, 26 edges).
@@ -75,6 +76,28 @@ pub fn fig2_chain() -> Topology {
     b.build()
 }
 
+/// The Fig. 2 chain with one twist for the schedule explorer: the detour
+/// link `v3–v1` that only config (c) uses is slow (50 ms instead of
+/// 1 ms). Deploying (c) from the paper's inconsistent state (`v2` still
+/// on config (a) because (b)'s message was lost) races two in-band
+/// chains: the one repairing `v2 → v4` and the one installing
+/// `v3 → v1`. Over this topology the repair wins under the default
+/// schedule — the run is clean — and only an adversarial drop or delay
+/// of the repair exposes the `v3 → v1 → v2 → v3` loop, which is exactly
+/// the search problem `p4update-explore` is pointed at.
+pub fn fig2_chain_slow_detour() -> Topology {
+    let mut b = TopologyBuilder::new("fig2-slow-detour");
+    let v: Vec<NodeId> = (0..5).map(|i| b.add_node(format!("v{i}"))).collect();
+    let lat = SimDuration::from_millis(1);
+    for w in [0usize, 1, 2, 3, 4].windows(2) {
+        b.add_link(v[w[0]], v[w[1]], lat, DEFAULT_CAPACITY);
+    }
+    b.add_link(v[2], v[4], lat, DEFAULT_CAPACITY); // for config (b)
+    b.add_link(v[0], v[3], lat, DEFAULT_CAPACITY); // for config (c)
+    b.add_link(v[3], v[1], SimDuration::from_millis(50), DEFAULT_CAPACITY); // slow detour
+    b.build()
+}
+
 /// Config (a) of Fig. 2.
 pub fn fig2_config_a() -> Vec<NodeId> {
     [0u32, 1, 2, 3, 4].map(NodeId).to_vec()
@@ -89,6 +112,43 @@ pub fn fig2_config_b() -> Vec<NodeId> {
 /// state with the `v3 → v1 → v2 → v3` loop the paper demonstrates.
 pub fn fig2_config_c() -> Vec<NodeId> {
     [0u32, 3, 1, 2, 4].map(NodeId).to_vec()
+}
+
+/// An 11-node topology whose update has *many* gateways, exercising the
+/// dual-layer mechanism's backward segments (Alg. 2). The old path is the
+/// chain `v0 … v5`; the new path detours through fresh nodes `v6 … v10`
+/// but revisits every old node in the shuffled order
+/// `v0 v6 v3 v7 v1 v8 v4 v9 v2 v10 v5`, so all six old nodes are
+/// gateways and the segments alternate forward/backward:
+/// `0→3` forward, `3→1` backward, `1→4` forward, `4→2` backward,
+/// `2→5` forward (backward iff the ingress gateway's old distance does
+/// not exceed the egress gateway's, §6.2). 5 ms links.
+pub fn multi_gateway() -> Topology {
+    let mut b = TopologyBuilder::new("multi-gateway");
+    for i in 0..11 {
+        b.add_node(format!("v{i}"));
+    }
+    let lat = SimDuration::from_millis(5);
+    for w in multi_gateway_old_path().windows(2) {
+        b.add_link(w[0], w[1], lat, DEFAULT_CAPACITY);
+    }
+    for w in multi_gateway_new_path().windows(2) {
+        if !b.has_link(w[0], w[1]) {
+            b.add_link(w[0], w[1], lat, DEFAULT_CAPACITY);
+        }
+    }
+    b.build()
+}
+
+/// Old path of the multi-gateway scenario (the plain chain).
+pub fn multi_gateway_old_path() -> Vec<NodeId> {
+    [0u32, 1, 2, 3, 4, 5].map(NodeId).to_vec()
+}
+
+/// New path of the multi-gateway scenario (every old node revisited out
+/// of order; see [`multi_gateway`]).
+pub fn multi_gateway_new_path() -> Vec<NodeId> {
+    [0u32, 6, 3, 7, 1, 8, 4, 9, 2, 10, 5].map(NodeId).to_vec()
 }
 
 /// The 6-node network for the §4.2 fast-forward scenario, 20 ms links.
@@ -505,6 +565,28 @@ mod tests {
             seen.push(cur);
         }
         assert_eq!(seen, vec![3, 1, 2, 3, 1, 2]);
+    }
+
+    #[test]
+    fn multi_gateway_paths_are_routable_and_disjoint_in_the_middle() {
+        let t = multi_gateway();
+        assert_eq!(t.node_count(), 11);
+        assert!(t.is_connected());
+        for cfg in [multi_gateway_old_path(), multi_gateway_new_path()] {
+            for w in cfg.windows(2) {
+                assert!(
+                    t.link_between(w[0], w[1]).is_some(),
+                    "missing link {}-{}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        // Every old node reappears on the new path: all six are gateways.
+        let new = multi_gateway_new_path();
+        for v in multi_gateway_old_path() {
+            assert!(new.contains(&v), "old node {v} must be on the new path");
+        }
     }
 
     #[test]

@@ -11,6 +11,11 @@ use p4update_dataplane::Switch;
 use p4update_net::{FlowId, NodeId, Topology};
 use std::collections::BTreeMap;
 
+// The violation type itself lives in `p4update-core` (shared with the
+// schedule explorer's trace corpus); re-exported here so harness users
+// keep importing it from the checker.
+pub use p4update_core::Violation;
+
 /// Static facts about a flow the checker needs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowSpec {
@@ -20,36 +25,6 @@ pub struct FlowSpec {
     pub egress: NodeId,
     /// The flow's size bound, in capacity units.
     pub size: f64,
-}
-
-/// A consistency violation at a point in time.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Violation {
-    /// The flow's forwarding walk revisits a node: a forwarding loop.
-    Loop {
-        /// Affected flow.
-        flow: FlowId,
-        /// The nodes of the detected cycle, in walk order.
-        cycle: Vec<NodeId>,
-    },
-    /// The flow's forwarding walk reaches a switch without a rule.
-    Blackhole {
-        /// Affected flow.
-        flow: FlowId,
-        /// The ruleless switch.
-        at: NodeId,
-    },
-    /// A directed link carries more flow than its capacity.
-    Congestion {
-        /// Transmitting endpoint.
-        from: NodeId,
-        /// Receiving endpoint.
-        to: NodeId,
-        /// Total size routed over the link.
-        load: f64,
-        /// The link's capacity.
-        capacity: f64,
-    },
 }
 
 /// Walk one flow's forwarding function from its ingress, collecting the

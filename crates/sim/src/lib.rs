@@ -15,6 +15,8 @@ pub mod metrics;
 pub mod network;
 
 pub use checker::{check, FlowSpec, Violation};
-pub use config::{ControlLatency, FaultConfig, InstallDelay, SimConfig, TimingConfig};
+pub use config::{
+    ControlLatency, FaultChoiceConfig, FaultConfig, InstallDelay, SimConfig, TimingConfig,
+};
 pub use metrics::Metrics;
 pub use network::{simulation, ControllerImpl, Event, NetworkSim, System};

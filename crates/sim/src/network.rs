@@ -13,7 +13,7 @@ use p4update_analysis::{analyze_batch_with, AnalysisContext, Diagnostic};
 use p4update_baselines::{CentralController, CentralSwitchLogic, EzController, EzSwitchLogic};
 use p4update_core::{prepare_update, P4UpdateController, P4UpdateLogic, PreparedUpdate, Strategy};
 use p4update_dataplane::{ControllerLogic, CtrlEffect, Effect, Endpoint, Switch, SwitchLogic};
-use p4update_des::{Scheduler, SimDuration, SimRng, SimTime, Simulation, World};
+use p4update_des::{ChoiceKind, Scheduler, SimDuration, SimRng, SimTime, Simulation, World};
 use p4update_messages::{DataPacket, Message};
 use p4update_net::{latency_distances_from, FlowId, FlowUpdate, NodeId, Path, Topology, Version};
 use std::collections::BTreeMap;
@@ -56,6 +56,19 @@ impl ControllerImpl {
             ControllerImpl::Central(c) => c,
         }
     }
+}
+
+/// Outcome of a per-message fault choice point (see
+/// [`crate::config::FaultChoiceConfig`]).
+enum FaultDecision {
+    /// Deliver untouched (the default alternative).
+    Deliver,
+    /// Lose the message.
+    Drop,
+    /// Deliver after the configured extra delay.
+    Delay(SimDuration),
+    /// Deliver, plus a second copy after the configured delay.
+    Duplicate(SimDuration),
 }
 
 /// Events of the simulated network.
@@ -233,6 +246,11 @@ impl NetworkSim {
         &self.topo
     }
 
+    /// The configuration this world was assembled with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
     /// Install a flow's initial path directly (scenario bootstrap: the old
     /// configuration pre-exists the experiment), reserving capacities and
     /// registering the flow with the controller.
@@ -323,6 +341,22 @@ impl NetworkSim {
         prob > 0.0 && self.rng.chance(prob)
     }
 
+    /// Resolve one control message's adversarial fault decision through
+    /// the choice-point seam (when `SimConfig::fault_choices` is enabled).
+    /// Alternative 0 is always "deliver untouched", so a default chooser
+    /// keeps the run fault-free.
+    fn fault_choice(&mut self, sched: &mut Scheduler<Event>) -> FaultDecision {
+        let Some(fc) = self.config.fault_choices else {
+            return FaultDecision::Deliver;
+        };
+        match sched.choose(ChoiceKind::Fault, 4) {
+            0 => FaultDecision::Deliver,
+            1 => FaultDecision::Drop,
+            2 => FaultDecision::Delay(ms(fc.delay_ms)),
+            _ => FaultDecision::Duplicate(ms(fc.delay_ms)),
+        }
+    }
+
     fn fault_jitter(&mut self) -> SimDuration {
         let j = self.config.faults.jitter_ms;
         if j <= 0.0 {
@@ -348,19 +382,39 @@ impl NetworkSim {
                         self.metrics.control_drops += 1;
                         continue;
                     }
+                    let decision = if matches!(msg, Message::Data(_)) {
+                        FaultDecision::Deliver // data is never fault-injected
+                    } else {
+                        self.fault_choice(sched)
+                    };
                     let at = base + self.transit(node, to) + self.fault_jitter();
-                    sched.schedule_at(
-                        at,
-                        Event::DeliverToSwitch {
-                            node: to,
-                            from: Endpoint::Switch(node),
-                            msg,
-                        },
-                    );
+                    let event = Event::DeliverToSwitch {
+                        node: to,
+                        from: Endpoint::Switch(node),
+                        msg,
+                    };
+                    match decision {
+                        FaultDecision::Drop => self.metrics.control_drops += 1,
+                        FaultDecision::Deliver => sched.schedule_at(at, event),
+                        FaultDecision::Delay(d) => sched.schedule_at(at + d, event),
+                        FaultDecision::Duplicate(d) => {
+                            sched.schedule_at(at, event.clone());
+                            sched.schedule_at(at + d, event);
+                        }
+                    }
                 }
                 Effect::SendController { msg } => {
                     let at = base + self.control_latency(node);
-                    sched.schedule_at(at, Event::DeliverToController { from: node, msg });
+                    let event = Event::DeliverToController { from: node, msg };
+                    match self.fault_choice(sched) {
+                        FaultDecision::Drop => self.metrics.control_drops += 1,
+                        FaultDecision::Deliver => sched.schedule_at(at, event),
+                        FaultDecision::Delay(d) => sched.schedule_at(at + d, event),
+                        FaultDecision::Duplicate(d) => {
+                            sched.schedule_at(at, event.clone());
+                            sched.schedule_at(at + d, event);
+                        }
+                    }
                 }
                 Effect::BeginInstall { flow, token } => {
                     let at = base + self.install_delay();
@@ -415,14 +469,20 @@ impl NetworkSim {
                             at = at.max(SimTime::ZERO + release);
                         }
                     }
-                    sched.schedule_at(
-                        at,
-                        Event::DeliverToSwitch {
-                            node: to,
-                            from: Endpoint::Controller,
-                            msg,
-                        },
-                    );
+                    let event = Event::DeliverToSwitch {
+                        node: to,
+                        from: Endpoint::Controller,
+                        msg,
+                    };
+                    match self.fault_choice(sched) {
+                        FaultDecision::Drop => self.metrics.control_drops += 1,
+                        FaultDecision::Deliver => sched.schedule_at(at, event),
+                        FaultDecision::Delay(d) => sched.schedule_at(at + d, event),
+                        FaultDecision::Duplicate(d) => {
+                            sched.schedule_at(at, event.clone());
+                            sched.schedule_at(at + d, event);
+                        }
+                    }
                 }
                 CtrlEffect::UpdateComplete { flow, version } => {
                     self.metrics.record_completion(base, flow, version);
@@ -755,6 +815,64 @@ mod tests {
         let world = sim.into_world();
         assert!(!world.analysis_findings.is_empty());
         assert!(world.analysis_findings.iter().all(|d| !d.is_error()));
+    }
+
+    /// Fault choice points with the default chooser alter nothing: every
+    /// decision resolves to "deliver", so the run is byte-identical to one
+    /// without choice points.
+    #[test]
+    fn fault_choice_points_with_default_chooser_change_nothing() {
+        let run = |fault_choices: bool| {
+            let topo = topologies::fig1();
+            let mut config =
+                SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), 1).paranoid();
+            if fault_choices {
+                config = config.with_fault_choices(crate::config::FaultChoiceConfig::default());
+            }
+            let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
+            let old = Path::new(topologies::fig1_old_path());
+            let new = Path::new(topologies::fig1_new_path());
+            world.install_initial_path(FlowId(0), &old, 1.0);
+            let batch = world.add_batch(vec![FlowUpdate::new(FlowId(0), Some(old), new, 1.0)]);
+            let mut sim = simulation(world);
+            sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+            assert!(sim.run().drained());
+            let events = sim.events_delivered();
+            let world = sim.into_world();
+            (events, world.metrics.completions, world.violations)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// A chooser that drops every control message stalls the update (no
+    /// completion) without ever breaking consistency.
+    #[test]
+    fn drop_all_chooser_stalls_but_stays_consistent() {
+        struct DropAll;
+        impl p4update_des::Chooser for DropAll {
+            fn choose(&mut self, kind: ChoiceKind, _arity: usize) -> usize {
+                match kind {
+                    ChoiceKind::TieBreak => 0,
+                    ChoiceKind::Fault => 1, // drop
+                }
+            }
+        }
+        let topo = topologies::fig1();
+        let config = SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), 1)
+            .paranoid()
+            .with_fault_choices(crate::config::FaultChoiceConfig::default());
+        let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
+        let old = Path::new(topologies::fig1_old_path());
+        let new = Path::new(topologies::fig1_new_path());
+        world.install_initial_path(FlowId(0), &old, 1.0);
+        let batch = world.add_batch(vec![FlowUpdate::new(FlowId(0), Some(old), new, 1.0)]);
+        let mut sim = simulation(world).with_chooser(Box::new(DropAll));
+        sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        assert!(sim.run().drained());
+        let world = sim.into_world();
+        assert!(world.metrics.completions.is_empty());
+        assert!(world.violations.is_empty(), "{:?}", world.violations);
+        assert!(world.metrics.control_drops > 0);
     }
 
     #[test]

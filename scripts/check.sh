@@ -30,4 +30,10 @@ if cargo run -q --example p4update_lint -- --mutate; then
     exit 1
 fi
 
+echo "==> trace corpus replays byte-exactly (release profile)"
+cargo test -q --release --test corpus_replay
+
+echo "==> exploration smoke run (small budget; P4Update must stay clean)"
+cargo run -q --release --example explore -- fig2-ez fig2-p4 --runs 64 --walks 32
+
 echo "All checks passed."

@@ -51,6 +51,7 @@
 //! | [`traffic`] | gravity-model traffic and the §9.1 workload scenarios |
 //! | [`sim`] | the deterministic event-driven harness + consistency checker |
 //! | [`des`] | the discrete-event engine, RNG, statistics |
+//! | [`explore`] | adversarial schedule search, ddmin shrinking, replayable choice traces |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +61,7 @@ pub use p4update_baselines as baselines;
 pub use p4update_core as core;
 pub use p4update_dataplane as dataplane;
 pub use p4update_des as des;
+pub use p4update_explore as explore;
 pub use p4update_messages as messages;
 pub use p4update_net as net;
 pub use p4update_pipeline as pipeline;
