@@ -62,6 +62,10 @@ pub struct Scheduler<E> {
     next_seq: u64,
     now: SimTime,
     chooser: Box<dyn Chooser>,
+    /// Cached [`Chooser::is_trivial`] so the hot pop path branches on a
+    /// plain bool instead of making a virtual call per event.
+    trivial: bool,
+    peak_pending: usize,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -78,12 +82,21 @@ impl<E> Scheduler<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             chooser: Box::new(FifoChooser),
+            trivial: true,
+            peak_pending: 0,
         }
+    }
+
+    /// Reserve heap capacity up front so steady-state runs never reallocate
+    /// mid-simulation.
+    pub fn reserve(&mut self, capacity: usize) {
+        self.queue.reserve(capacity);
     }
 
     /// Replace the choice-point policy (tie-breaks and world-level
     /// decisions). The default is [`FifoChooser`].
     pub fn set_chooser(&mut self, chooser: Box<dyn Chooser>) {
+        self.trivial = chooser.is_trivial();
         self.chooser = chooser;
     }
 
@@ -121,11 +134,20 @@ impl<E> Scheduler<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Scheduled { at, seq, event });
+        if self.queue.len() > self.peak_pending {
+            self.peak_pending = self.queue.len();
+        }
     }
 
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// High-water mark of the pending-event queue over the whole run — the
+    /// "peak queue depth" the perf harness reports.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
     }
 
     /// Remove and return the next event to deliver.
@@ -136,7 +158,7 @@ impl<E> Scheduler<E> {
     /// choice point; the unchosen ones go back on the queue (their original
     /// sequence numbers keep the relative FIFO order stable).
     fn pop(&mut self) -> Option<Scheduled<E>> {
-        if self.chooser.is_trivial() {
+        if self.trivial {
             return self.queue.pop();
         }
         let first = self.queue.pop()?;
@@ -226,6 +248,12 @@ impl<W: World> Simulation<W> {
         self
     }
 
+    /// Pre-size the event queue (see [`Scheduler::reserve`]).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.sched.reserve(capacity);
+        self
+    }
+
     /// Replace the choice-point policy (see [`Scheduler::set_chooser`]).
     pub fn with_chooser(mut self, chooser: Box<dyn Chooser>) -> Self {
         self.sched.set_chooser(chooser);
@@ -255,6 +283,11 @@ impl<W: World> Simulation<W> {
     /// Total events delivered so far.
     pub fn events_delivered(&self) -> u64 {
         self.events_delivered
+    }
+
+    /// High-water mark of pending events (see [`Scheduler::peak_pending`]).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.sched.peak_pending()
     }
 
     /// Seed the queue before running.
@@ -514,6 +547,36 @@ mod tests {
         sched.set_chooser(Box::new(Lifo));
         assert_eq!(sched.choose(ChoiceKind::Fault, 4), 3);
         assert_eq!(sched.choose(ChoiceKind::Fault, 1), 0);
+    }
+
+    /// Peak queue depth is a high-water mark: it survives the drain and
+    /// counts the seed events plus everything scheduled mid-run.
+    #[test]
+    fn peak_queue_depth_tracks_high_water_mark() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] }).with_queue_capacity(64);
+        assert_eq!(sim.peak_queue_depth(), 0);
+        for i in 0..7 {
+            sim.schedule_at(ms(i), i as u32);
+        }
+        assert_eq!(sim.peak_queue_depth(), 7);
+        assert!(sim.run().drained());
+        // Drained, but the peak is remembered.
+        assert_eq!(sim.peak_queue_depth(), 7);
+    }
+
+    /// Replacing the chooser updates the cached trivial flag in both
+    /// directions: FIFO -> exploring -> FIFO keeps delivery semantics.
+    #[test]
+    fn chooser_swap_updates_fast_path() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim = sim.with_chooser(Box::new(Lifo));
+        sim = sim.with_chooser(Box::new(FifoChooser));
+        for i in 0..10 {
+            sim.schedule_at(ms(5), i);
+        }
+        assert!(sim.run().drained());
+        let order: Vec<u32> = sim.world().seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -109,7 +109,7 @@ pub fn run_system(system: System, seed: u64) -> Fig2Series {
     let world = sim.into_world();
 
     let arrivals_v1: Vec<(f64, u32)> = world
-        .metrics
+        .metrics()
         .arrivals_at(NodeId(1))
         .into_iter()
         .map(|(t, s)| (t.as_secs_f64(), s))
@@ -120,10 +120,10 @@ pub fn run_system(system: System, seed: u64) -> Fig2Series {
     }
     Fig2Series {
         label: crate::scenarios::system_label(system),
-        looped_at_v1: world.metrics.duplicate_arrivals_at(NodeId(1)),
+        looped_at_v1: world.metrics().duplicate_arrivals_at(NodeId(1)),
         max_visits_v1: visit_counts.values().copied().max().unwrap_or(0),
-        delivered_v4: world.metrics.delivered_seqs_at(NodeId(4)),
-        ttl_deaths: world.metrics.ttl_deaths(),
+        delivered_v4: world.metrics().delivered_seqs_at(NodeId(4)),
+        ttl_deaths: world.metrics().ttl_deaths(),
         arrivals_v1,
     }
 }

@@ -50,9 +50,9 @@ pub fn run_once(system: System, seed: u64) -> Option<f64> {
     // U3 is version 3 under P4Update; the baselines report nominal
     // versions, so take the *last* completion of the flow.
     let done = match system {
-        System::P4Update(_) => world.metrics.completion_of(flow, Version(3)),
+        System::P4Update(_) => world.metrics().completion_of(flow, Version(3)),
         _ => world
-            .metrics
+            .metrics()
             .completions
             .iter()
             .filter(|&&(_, f, _)| f == flow)

@@ -58,7 +58,7 @@ pub fn run_update_once(
     let world = sim.into_world();
     let flows: Vec<FlowId> = updates.iter().map(|u| u.flow).collect();
     world
-        .metrics
+        .metrics()
         .last_completion(&flows)
         .map(p4update_des::SimTime::as_millis_f64)
 }

@@ -15,7 +15,7 @@
 
 use p4update_core::Strategy;
 use p4update_des::{SimDuration, SimTime};
-use p4update_net::{topologies, FlowId, FlowUpdate, Path};
+use p4update_net::{k_shortest_paths, topologies, FlowId, FlowUpdate, Path};
 use p4update_sim::{
     simulation, Event, FaultChoiceConfig, NetworkSim, SimConfig, System, TimingConfig,
 };
@@ -66,6 +66,13 @@ pub const SCENARIOS: &[ScenarioInfo] = &[
                 alternating forward/backward segments (Alg. 2)",
         vulnerable: false,
     },
+    ScenarioInfo {
+        name: "ft512-dual",
+        about: "512-switch synthetic fat-tree, P4Update dual-layer, four \
+                concurrent cross-pod migrations: the scale harness's \
+                largest topology under adversarial schedules",
+        vulnerable: false,
+    },
 ];
 
 /// A built scenario: the ready-to-run simulation (trigger already
@@ -92,6 +99,7 @@ pub fn build(name: &str, seed: u64) -> Option<BuiltScenario> {
         "fig1-single" => Some(fig1(Strategy::ForceSingle, seed)),
         "fig1-dual" => Some(fig1(Strategy::ForceDual, seed)),
         "multigw-dual" => Some(multi_gateway(seed)),
+        "ft512-dual" => Some(ft512(seed)),
         _ => None,
     }
 }
@@ -164,6 +172,48 @@ fn multi_gateway(seed: u64) -> BuiltScenario {
     let mut world = NetworkSim::new(topo, System::P4Update(Strategy::ForceDual), config, None);
     world.install_initial_path(flow, &old, 1.0);
     let batch = world.add_batch(vec![FlowUpdate::new(flow, Some(old.clone()), new, 1.0)]);
+    let mut sim = simulation(world);
+    sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+    BuiltScenario {
+        sim,
+        horizon: SimTime::ZERO + SimDuration::from_secs(120),
+    }
+}
+
+/// Four concurrent cross-pod migrations on the 512-switch synthetic
+/// fat-tree from the scale harness ([`topologies::synthetic_fat_tree_512`]).
+/// Each flow moves from its shortest edge-to-edge route to the
+/// second-shortest (a different core), so updates overlap at the
+/// aggregation layer. The flow count is deliberately small — corpus
+/// traces replay in debug CI, and the topology itself is the point.
+fn ft512(seed: u64) -> BuiltScenario {
+    let topo = topologies::synthetic_fat_tree_512();
+    let edges = topologies::fat_tree_edge_switches(&topo);
+    let config = explore_config(TimingConfig::fat_tree(), seed);
+    let mut world = NetworkSim::new(
+        topo.clone(),
+        System::P4Update(Strategy::ForceDual),
+        config,
+        None,
+    );
+    // Pair edge switches from pods on opposite sides of the tree.
+    let pairs = [
+        (edges[0], edges[edges.len() - 1]),
+        (edges[1], edges[edges.len() / 2]),
+        (edges[edges.len() / 4], edges[edges.len() - 2]),
+        (edges[2], edges[3 * edges.len() / 4]),
+    ];
+    let mut updates = Vec::new();
+    for (i, &(src, dst)) in pairs.iter().enumerate() {
+        let flow = FlowId(i as u32);
+        let mut routes = k_shortest_paths(&topo, src, dst, 2);
+        assert!(routes.len() >= 2, "fat-tree must offer two disjoint routes");
+        let new = routes.pop().expect("second route");
+        let old = routes.pop().expect("first route");
+        world.install_initial_path(flow, &old, 1.0);
+        updates.push(FlowUpdate::new(flow, Some(old), new, 1.0));
+    }
+    let batch = world.add_batch(updates);
     let mut sim = simulation(world);
     sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
     BuiltScenario {

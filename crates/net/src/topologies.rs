@@ -218,6 +218,60 @@ pub fn fat_tree(k: usize) -> Topology {
     b.build()
 }
 
+/// Synthetic fat-tree with independently chosen core count, pod count, and
+/// per-pod width — the scale knob the perf harness turns. A strict
+/// [`fat_tree`]`(k)` only exists at sizes `k + k²` for even `k` (20, 80,
+/// 320, …), so hitting round node budgets like 64 or 512 needs the
+/// relaxed form: `cores + pods × (per_pod agg + per_pod edge)` switches,
+/// full bipartite agg↔edge inside each pod, and aggregation switch `j`
+/// of pod `p` uplinked to cores `(p + j) % cores` and `(p + j + 1) %
+/// cores` (two distinct uplinks whenever `cores ≥ 2`; the pod offset
+/// rotates coverage so `pods + per_pod ≥ cores` guarantees every core is
+/// reached and the fabric stays connected and multipath). Node naming
+/// matches [`fat_tree`] (`core{i}`, `agg{p}_{i}`, `edge{p}_{i}`), so
+/// [`fat_tree_edge_switches`] works on both. 0.05 ms intra-DC links.
+pub fn synthetic_fat_tree(cores: usize, pods: usize, per_pod: usize) -> Topology {
+    assert!(cores >= 2 && pods >= 1 && per_pod >= 1);
+    assert!(
+        pods + per_pod >= cores,
+        "too few aggregation switches to reach every core"
+    );
+    let total = cores + pods * 2 * per_pod;
+    let mut b = TopologyBuilder::new(format!("synth-fat-tree-{total}"));
+    let lat = SimDuration::from_micros(50);
+    let core_ids: Vec<NodeId> = (0..cores).map(|i| b.add_node(format!("core{i}"))).collect();
+    for p in 0..pods {
+        let agg: Vec<NodeId> = (0..per_pod)
+            .map(|i| b.add_node(format!("agg{p}_{i}")))
+            .collect();
+        let edge: Vec<NodeId> = (0..per_pod)
+            .map(|i| b.add_node(format!("edge{p}_{i}")))
+            .collect();
+        for &a in &agg {
+            for &e in &edge {
+                b.add_link(a, e, lat, DEFAULT_CAPACITY);
+            }
+        }
+        for (j, &a) in agg.iter().enumerate() {
+            b.add_link(a, core_ids[(p + j) % cores], lat, DEFAULT_CAPACITY);
+            b.add_link(a, core_ids[(p + j + 1) % cores], lat, DEFAULT_CAPACITY);
+        }
+    }
+    b.build()
+}
+
+/// 64-switch synthetic fat-tree (8 cores, 4 pods × 7 agg + 7 edge) — the
+/// mid-scale perf-harness topology.
+pub fn synthetic_fat_tree_64() -> Topology {
+    synthetic_fat_tree(8, 4, 7)
+}
+
+/// 512-switch synthetic fat-tree (32 cores, 8 pods × 30 agg + 30 edge) —
+/// the large-scale perf-harness topology.
+pub fn synthetic_fat_tree_512() -> Topology {
+    synthetic_fat_tree(32, 8, 30)
+}
+
 /// Edge switches of a fat-tree built by [`fat_tree`] — the ingress/egress
 /// candidates for DC flows.
 pub fn fat_tree_edge_switches(topo: &Topology) -> Vec<NodeId> {
@@ -602,6 +656,31 @@ mod tests {
     #[should_panic(expected = "even")]
     fn fat_tree_odd_k_panics() {
         fat_tree(3);
+    }
+
+    #[test]
+    fn synthetic_fat_trees_hit_their_node_budgets() {
+        let t64 = synthetic_fat_tree_64();
+        assert_eq!(t64.node_count(), 64);
+        assert!(t64.is_connected());
+        assert_eq!(fat_tree_edge_switches(&t64).len(), 4 * 7);
+
+        let t512 = synthetic_fat_tree_512();
+        assert_eq!(t512.node_count(), 512);
+        assert!(t512.is_connected());
+        assert_eq!(fat_tree_edge_switches(&t512).len(), 8 * 30);
+
+        // Every aggregation switch has two distinct core uplinks.
+        for v in t512.node_ids() {
+            if t512.node(v).name.starts_with("agg") {
+                let core_neighbors = t512
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(u, _)| t512.node(u).name.starts_with("core"))
+                    .count();
+                assert_eq!(core_neighbors, 2, "agg {v} uplinks");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! The scale runner: drives multi-flow updates over three topology
+//! scales for every system under test and aggregates the measurements
+//! the `BENCH_p4update.json` baseline records.
+
+use crate::json::Json;
+use crate::workload::bench_workload;
+use p4update_core::Strategy;
+use p4update_des::{Samples, SimDuration, SimTime};
+use p4update_net::{topologies, FlowId, Topology};
+use p4update_sim::{
+    simulation, Event, NetworkSim, SimConfig, StreamingMetrics, System, TimingConfig,
+};
+
+/// Schema tag of the emitted artifact; bump on layout changes.
+pub const SCHEMA: &str = "p4update-bench-v1";
+
+/// The gravity-model load factor all perf runs use (§9.1's near-capacity
+/// multi-flow setting).
+pub const LOAD_FACTOR: f64 = 0.55;
+
+/// The four systems every scale measures, with their artifact labels.
+pub fn systems() -> [(&'static str, System); 4] {
+    [
+        ("p4update-sl", System::P4Update(Strategy::ForceSingle)),
+        ("p4update-dl", System::P4Update(Strategy::ForceDual)),
+        ("ez-segway", System::EzSegway { congestion: true }),
+        ("central", System::Central { congestion: true }),
+    ]
+}
+
+/// One topology scale of the benchmark.
+pub struct Scale {
+    /// Artifact label ("fig1", "ft64", "ft512").
+    pub name: &'static str,
+    /// Topology constructor.
+    pub build: fn() -> Topology,
+    /// Timing model for this scale.
+    pub timing: fn(&Topology) -> TimingConfig,
+    /// Seeds to run per system at full fidelity.
+    pub full_runs: u64,
+    /// Seeds to run per system in smoke mode (0 = skipped).
+    pub smoke_runs: u64,
+}
+
+fn wan_timing(topo: &Topology) -> TimingConfig {
+    TimingConfig::wan_multi_flow(topo.centroid())
+}
+
+fn dc_timing(_topo: &Topology) -> TimingConfig {
+    TimingConfig::fat_tree()
+}
+
+/// The benchmark's three scales: Fig.-1-size, 64-switch, and 512-switch.
+pub fn scales() -> [Scale; 3] {
+    [
+        Scale {
+            name: "fig1",
+            build: topologies::fig1,
+            timing: wan_timing,
+            full_runs: 20,
+            smoke_runs: 2,
+        },
+        Scale {
+            name: "ft64",
+            build: topologies::synthetic_fat_tree_64,
+            timing: dc_timing,
+            full_runs: 5,
+            smoke_runs: 1,
+        },
+        Scale {
+            name: "ft512",
+            build: topologies::synthetic_fat_tree_512,
+            timing: dc_timing,
+            full_runs: 2,
+            smoke_runs: 0,
+        },
+    ]
+}
+
+/// Measurements of one (scale, system) cell, aggregated over seeds.
+pub struct SystemResult {
+    /// Artifact label of the system.
+    pub system: &'static str,
+    /// Seeds run.
+    pub runs: u64,
+    /// Total events delivered across runs.
+    pub events: u64,
+    /// Total wall-clock seconds spent inside the event loop.
+    pub wall_secs: f64,
+    /// Largest pending-event high-water mark over all runs.
+    pub peak_queue_depth: usize,
+    /// Median flow-completion time (ms since trigger), across all flows
+    /// of all runs.
+    pub fct_p50_ms: f64,
+    /// 99th-percentile flow-completion time (ms).
+    pub fct_p99_ms: f64,
+    /// Flows that completed inside the horizon, across all runs.
+    pub completed_flows: u64,
+    /// Flows attempted across all runs (`flows × runs`).
+    pub total_flows: u64,
+}
+
+/// Measurements of one topology scale.
+pub struct ScaleResult {
+    /// Scale label.
+    pub scale: &'static str,
+    /// Switch count.
+    pub nodes: usize,
+    /// Link count.
+    pub links: usize,
+    /// Flows updated per run (one per switch, gravity model).
+    pub flows: usize,
+    /// Per-system cells.
+    pub systems: Vec<SystemResult>,
+}
+
+/// Run one (topology, system) cell for one seed. Returns
+/// `(events, peak_queue_depth, per-flow completion times in ms, wall
+/// time)`. A flow missing from the completion-time list failed to finish
+/// inside the horizon (ez-Segway can strand flows under contention).
+/// Workload construction happens outside the timed section; the returned
+/// `Duration` covers only the event loop.
+fn run_once(
+    topo: &Topology,
+    timing: TimingConfig,
+    system: System,
+    seed: u64,
+) -> (u64, usize, Vec<f64>, std::time::Duration) {
+    let workload = bench_workload(topo, seed);
+    let config = SimConfig::new(timing, seed).with_analysis_gate(false);
+    let mut world = NetworkSim::new(
+        topo.clone(),
+        system,
+        config,
+        Some(workload.free_capacity.clone()),
+    )
+    .with_metrics_sink(Box::new(StreamingMetrics::new()));
+    for u in &workload.updates {
+        if let Some(old) = &u.old_path {
+            world.install_initial_path(u.flow, old, u.size);
+        }
+    }
+    let batch = world.add_batch(workload.updates.clone());
+    let mut sim = simulation(world);
+    sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+    let start = std::time::Instant::now();
+    let _ = sim.run_until(SimTime::ZERO + SimDuration::from_secs(600));
+    let wall = start.elapsed();
+    let events = sim.events_delivered();
+    let peak = sim.peak_queue_depth();
+    let world = sim.into_world();
+    let flows: Vec<FlowId> = workload.updates.iter().map(|u| u.flow).collect();
+    let mut fct = Vec::with_capacity(flows.len());
+    for &f in &flows {
+        let t = world
+            .sink()
+            .completions()
+            .iter()
+            .filter(|&&(_, g, _)| g == f)
+            .map(|&(t, _, _)| t)
+            .max();
+        if let Some(t) = t {
+            fct.push(t.as_millis_f64());
+        }
+    }
+    (events, peak, fct, wall)
+}
+
+/// Run one scale for every system.
+pub fn run_scale(scale: &Scale, runs: u64) -> ScaleResult {
+    let topo = (scale.build)();
+    let timing = (scale.timing)(&topo);
+    let flows = topo.node_count();
+    let mut results = Vec::new();
+    for (label, system) in systems() {
+        let mut events = 0u64;
+        let mut wall = std::time::Duration::ZERO;
+        let mut peak = 0usize;
+        let mut fct = Samples::new();
+        for seed in 0..runs {
+            let (e, p, times, w) = run_once(&topo, timing, system, 1 + seed);
+            events += e;
+            wall += w;
+            peak = peak.max(p);
+            for t in times {
+                fct.push(t);
+            }
+        }
+        let ps = fct.percentiles(&[50.0, 99.0]);
+        results.push(SystemResult {
+            system: label,
+            runs,
+            events,
+            wall_secs: wall.as_secs_f64(),
+            peak_queue_depth: peak,
+            fct_p50_ms: ps[0],
+            fct_p99_ms: ps[1],
+            completed_flows: fct.len() as u64,
+            total_flows: flows as u64 * runs,
+        });
+    }
+    ScaleResult {
+        scale: scale.name,
+        nodes: topo.node_count(),
+        links: topo.link_count(),
+        flows,
+        systems: results,
+    }
+}
+
+/// Run the whole benchmark. `smoke` restricts to the small scales and
+/// seed counts (< 10 s wall) for CI; the full run regenerates the
+/// committed baseline.
+pub fn run_bench(smoke: bool) -> Json {
+    let mut scale_values = Vec::new();
+    for scale in &scales() {
+        let runs = if smoke {
+            scale.smoke_runs
+        } else {
+            scale.full_runs
+        };
+        if runs == 0 {
+            continue;
+        }
+        let result = run_scale(scale, runs);
+        scale_values.push(scale_to_json(&result));
+    }
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("load_factor".into(), Json::Num(LOAD_FACTOR)),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("scales".into(), Json::Arr(scale_values)),
+    ])
+}
+
+fn scale_to_json(r: &ScaleResult) -> Json {
+    let systems = r
+        .systems
+        .iter()
+        .map(|s| {
+            let events_per_sec = if s.wall_secs > 0.0 {
+                s.events as f64 / s.wall_secs
+            } else {
+                0.0
+            };
+            Json::Obj(vec![
+                ("system".into(), Json::Str(s.system.into())),
+                ("runs".into(), Json::Num(s.runs as f64)),
+                ("events".into(), Json::Num(s.events as f64)),
+                ("wall_secs".into(), Json::Num(s.wall_secs)),
+                ("events_per_sec".into(), Json::Num(events_per_sec.round())),
+                (
+                    "peak_queue_depth".into(),
+                    Json::Num(s.peak_queue_depth as f64),
+                ),
+                ("fct_p50_ms".into(), Json::Num(s.fct_p50_ms)),
+                ("fct_p99_ms".into(), Json::Num(s.fct_p99_ms)),
+                (
+                    "completion_rate".into(),
+                    Json::Num(s.completed_flows as f64 / s.total_flows.max(1) as f64),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("scale".into(), Json::Str(r.scale.into())),
+        ("nodes".into(), Json::Num(r.nodes as f64)),
+        ("links".into(), Json::Num(r.links as f64)),
+        ("flows".into(), Json::Num(r.flows as f64)),
+        ("systems".into(), Json::Arr(systems)),
+    ])
+}
+
+/// Validate a benchmark artifact: schema tag, at least `min_scales`
+/// scales, exactly the four expected systems per scale, and finite,
+/// plausible numbers throughout. This is what the gate script runs
+/// against both the smoke output and the committed baseline.
+pub fn validate_report(doc: &Json, min_scales: usize) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema tag must be {SCHEMA:?}"));
+    }
+    doc.get("load_factor")
+        .and_then(Json::as_f64)
+        .filter(|l| (0.0..=1.0).contains(l))
+        .ok_or("load_factor must be in [0, 1]")?;
+    let scales = doc
+        .get("scales")
+        .and_then(Json::as_arr)
+        .ok_or("missing scales array")?;
+    if scales.len() < min_scales {
+        return Err(format!(
+            "need at least {min_scales} scales, found {}",
+            scales.len()
+        ));
+    }
+    let expected: Vec<&str> = systems().iter().map(|&(label, _)| label).collect();
+    for scale in scales {
+        let name = scale
+            .get("scale")
+            .and_then(Json::as_str)
+            .ok_or("scale missing name")?;
+        for key in ["nodes", "links", "flows"] {
+            scale
+                .get(key)
+                .and_then(Json::as_f64)
+                .filter(|&v| v.is_finite() && v > 0.0)
+                .ok_or_else(|| format!("{name}: {key} must be a positive number"))?;
+        }
+        let systems = scale
+            .get("systems")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{name}: missing systems array"))?;
+        let labels: Vec<&str> = systems
+            .iter()
+            .filter_map(|s| s.get("system").and_then(Json::as_str))
+            .collect();
+        if labels != expected {
+            return Err(format!(
+                "{name}: systems must be {expected:?}, got {labels:?}"
+            ));
+        }
+        for sys in systems {
+            let label = sys.get("system").and_then(Json::as_str).unwrap_or("?");
+            for key in [
+                "runs",
+                "events",
+                "events_per_sec",
+                "peak_queue_depth",
+                "fct_p50_ms",
+                "fct_p99_ms",
+            ] {
+                sys.get(key)
+                    .and_then(Json::as_f64)
+                    .filter(|&v| v.is_finite() && v > 0.0)
+                    .ok_or_else(|| format!("{name}/{label}: {key} must be a positive number"))?;
+            }
+            let (p50, p99) = (
+                sys.get("fct_p50_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                sys.get("fct_p99_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            );
+            if p99 < p50 {
+                return Err(format!("{name}/{label}: p99 < p50"));
+            }
+            // ez-Segway can strand individual flows under contention (it
+            // retries forever); everything else must finish everything. A
+            // rate below 0.95 means the run itself is broken.
+            let rate = sys
+                .get("completion_rate")
+                .and_then(Json::as_f64)
+                .filter(|r| (0.0..=1.0).contains(r))
+                .ok_or_else(|| format!("{name}/{label}: completion_rate must be in [0, 1]"))?;
+            if rate < 0.95 {
+                return Err(format!("{name}/{label}: completion_rate {rate} below 0.95"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The smallest cell end to end: every system completes the Fig.-1
+    /// scale workload, produces events, and reports plausible FCTs.
+    #[test]
+    fn fig1_cell_runs_for_every_system() {
+        let scale = &scales()[0];
+        let result = run_scale(scale, 1);
+        assert_eq!(result.nodes, 8);
+        assert_eq!(result.systems.len(), 4);
+        for s in &result.systems {
+            assert_eq!(
+                s.completed_flows, s.total_flows,
+                "{} did not complete",
+                s.system
+            );
+            assert!(s.events > 0);
+            assert!(s.peak_queue_depth > 0);
+            assert!(s.fct_p50_ms > 0.0 && s.fct_p99_ms >= s.fct_p50_ms);
+        }
+    }
+
+    #[test]
+    fn smoke_report_validates() {
+        let report = run_bench(true);
+        validate_report(&report, 1).unwrap();
+        // Smoke mode must not claim full-scale coverage.
+        assert!(validate_report(&report, 3).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_tampered_reports() {
+        let report = run_bench(true);
+        let text = report.to_string_pretty();
+        validate_report(&Json::parse(&text).unwrap(), 1).unwrap();
+
+        let broken = text.replace("p4update-bench-v1", "other-schema");
+        assert!(validate_report(&Json::parse(&broken).unwrap(), 1).is_err());
+
+        let broken = text.replace("\"ez-segway\"", "\"renamed\"");
+        assert!(validate_report(&Json::parse(&broken).unwrap(), 1).is_err());
+
+        let broken = text.replace("\"completion_rate\": 1", "\"completion_rate\": 0.5");
+        assert!(validate_report(&Json::parse(&broken).unwrap(), 1).is_err());
+    }
+}

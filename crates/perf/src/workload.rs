@@ -1,0 +1,43 @@
+//! The shared perf workload recipe: gravity-model multi-flow updates at
+//! [`crate::runner::LOAD_FACTOR`] of link capacity, one update per
+//! switch, with the feasibility acceptance loop of §9.1. This is the
+//! same recipe the criterion benches use, rehoused here so the offline
+//! workspace (which excludes `crates/bench`) can drive it too.
+
+use p4update_des::SimRng;
+use p4update_net::Topology;
+use p4update_traffic::{multi_flow, Workload};
+
+/// Deterministic benchmark workload for `seed`: the updates plus the
+/// post-allocation free capacity the congestion-aware controllers need.
+pub fn bench_workload(topo: &Topology, seed: u64) -> Workload {
+    let mut rng = SimRng::new(seed);
+    multi_flow(topo, &mut rng, crate::runner::LOAD_FACTOR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4update_net::topologies;
+
+    #[test]
+    fn workload_is_deterministic_and_covers_every_switch() {
+        let topo = topologies::fig1();
+        let a = bench_workload(&topo, 7);
+        let b = bench_workload(&topo, 7);
+        assert_eq!(a.updates.len(), topo.node_count());
+        assert_eq!(
+            a.updates.iter().map(|u| u.flow).collect::<Vec<_>>(),
+            b.updates.iter().map(|u| u.flow).collect::<Vec<_>>()
+        );
+        assert_eq!(a.free_capacity, b.free_capacity);
+    }
+
+    #[test]
+    fn workload_generates_on_the_synthetic_fat_trees() {
+        let topo = topologies::synthetic_fat_tree_64();
+        let w = bench_workload(&topo, 1);
+        assert_eq!(w.updates.len(), 64);
+        assert!(w.updates.iter().all(|u| u.old_path.is_some()));
+    }
+}

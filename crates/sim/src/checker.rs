@@ -7,7 +7,7 @@
 //! messages; Fig. 2 shows ez-Segway does. Tests run the checker after
 //! every event and assert presence or absence of violations accordingly.
 
-use p4update_dataplane::Switch;
+use crate::table::SwitchTable;
 use p4update_net::{FlowId, NodeId, Topology};
 use std::collections::BTreeMap;
 
@@ -32,7 +32,7 @@ pub struct FlowSpec {
 fn walk_flow(
     flow: FlowId,
     spec: &FlowSpec,
-    switches: &BTreeMap<NodeId, Switch>,
+    switches: &SwitchTable,
     usage: &mut BTreeMap<(NodeId, NodeId), f64>,
     out: &mut Vec<Violation>,
 ) {
@@ -47,7 +47,7 @@ fn walk_flow(
             return;
         }
         visited.push(cur);
-        let Some(sw) = switches.get(&cur) else {
+        let Some(sw) = switches.get(cur) else {
             out.push(Violation::Blackhole { flow, at: cur });
             return;
         };
@@ -71,14 +71,14 @@ fn walk_flow(
 /// freedom is a property of *installed* flows.
 pub fn check(
     topo: &Topology,
-    switches: &BTreeMap<NodeId, Switch>,
+    switches: &SwitchTable,
     flows: &BTreeMap<FlowId, FlowSpec>,
 ) -> Vec<Violation> {
     let mut violations = Vec::new();
     let mut usage: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
     for (&flow, spec) in flows {
         let deployed = switches
-            .get(&spec.ingress)
+            .get(spec.ingress)
             .is_some_and(|sw| sw.state.uib.read(flow).has_active_rule());
         if !deployed {
             continue;
@@ -120,15 +120,15 @@ mod tests {
         b.build()
     }
 
-    fn network(topo: &Topology) -> BTreeMap<NodeId, Switch> {
-        topo.node_ids()
-            .map(|id| (id, Switch::new(id, topo, Box::new(P4UpdateLogic::new()))))
-            .collect()
+    fn network(topo: &Topology) -> SwitchTable {
+        SwitchTable::build(topo, |id| {
+            Switch::new(id, topo, Box::new(P4UpdateLogic::new()))
+        })
     }
 
-    fn set_rule(switches: &mut BTreeMap<NodeId, Switch>, node: u32, flow: u32, next: Option<u32>) {
+    fn set_rule(switches: &mut SwitchTable, node: u32, flow: u32, next: Option<u32>) {
         switches
-            .get_mut(&NodeId(node))
+            .get_mut(NodeId(node))
             .unwrap()
             .state
             .uib

@@ -13,10 +13,12 @@ pub mod checker;
 pub mod config;
 pub mod metrics;
 pub mod network;
+pub mod table;
 
 pub use checker::{check, FlowSpec, Violation};
 pub use config::{
     ControlLatency, FaultChoiceConfig, FaultConfig, InstallDelay, SimConfig, TimingConfig,
 };
-pub use metrics::Metrics;
+pub use metrics::{Metrics, MetricsCounts, MetricsSink, NullMetrics, StreamingMetrics};
 pub use network::{simulation, ControllerImpl, Event, NetworkSim, System};
+pub use table::SwitchTable;

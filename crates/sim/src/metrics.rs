@@ -1,10 +1,112 @@
 //! Measurement collection: packet traces (Fig. 2's sequence plots), flow
 //! update completion times (Fig. 4 / Fig. 7), alarms, and drop accounting.
+//!
+//! Collection goes through the [`MetricsSink`] seam so callers choose
+//! fidelity per run:
+//!
+//! - [`Metrics`] — the full-recording sink: every packet arrival,
+//!   delivery, and drop is kept as an event series. Tests and figure
+//!   regeneration depend on these series; memory grows with traffic.
+//! - [`StreamingMetrics`] — O(1)-memory sink for scale runs: per-packet
+//!   series become counters plus a fixed-size [`Reservoir`], while
+//!   completions and alarms (bounded by the number of flow updates, not
+//!   by traffic) stay exact.
+//! - [`NullMetrics`] — records nothing; pure-throughput measurements.
+//!
+//! Sinks are observation-only: no simulation decision reads a sink, so
+//! swapping sinks can never perturb event order (the equivalence test in
+//! `tests/sink_equivalence.rs` pins this).
 
 use p4update_dataplane::DropReason;
-use p4update_des::SimTime;
+use p4update_des::{Reservoir, SimTime};
 use p4update_messages::{DataPacket, RejectReason};
 use p4update_net::{FlowId, NodeId, Version};
+
+/// Aggregate counters every sink can report cheaply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsCounts {
+    /// Data-packet arrivals at switches.
+    pub arrivals: u64,
+    /// Data-packet deliveries at egress switches.
+    pub deliveries: u64,
+    /// Data-packet drops (all reasons).
+    pub drops: u64,
+    /// Drops due to TTL expiry (loop deaths).
+    pub ttl_deaths: u64,
+    /// Flow update completions.
+    pub completions: u64,
+    /// Alarms received by the controller.
+    pub alarms: u64,
+    /// Batch triggers.
+    pub triggers: u64,
+    /// Control messages lost to fault injection.
+    pub control_drops: u64,
+    /// Update-notification deliveries at switches.
+    pub unm_deliveries: u64,
+}
+
+/// Where the simulated network reports its measurements.
+///
+/// The `record_*` half is called by `sim::network` on the hot path; the
+/// query half is what experiment harnesses read afterwards. Completions
+/// and alarms are `O(#updates)`, so every sink (except the null sink)
+/// keeps them exact — the multi-flow completion-time metric must not
+/// depend on which fidelity was chosen.
+pub trait MetricsSink: Send {
+    /// A data packet arrived at a switch.
+    fn record_arrival(&mut self, t: SimTime, node: NodeId, pkt: DataPacket);
+    /// A data packet was delivered at its egress.
+    fn record_delivery(&mut self, t: SimTime, node: NodeId, pkt: DataPacket);
+    /// A data packet was dropped.
+    fn record_drop(&mut self, t: SimTime, node: NodeId, pkt: DataPacket, reason: DropReason);
+    /// The controller learned a flow update completed.
+    fn record_completion(&mut self, t: SimTime, flow: FlowId, version: Version);
+    /// The controller received an alarm.
+    fn record_alarm(&mut self, t: SimTime, flow: FlowId, reason: RejectReason);
+    /// A batch trigger fired.
+    fn record_trigger(&mut self, t: SimTime, batch: usize);
+    /// A control message was lost to fault injection.
+    fn record_control_drop(&mut self);
+    /// An update notification (UNM) was delivered at a switch.
+    fn record_unm_delivery(&mut self, t: SimTime, node: NodeId);
+
+    /// Aggregate counters.
+    fn counts(&self) -> MetricsCounts;
+    /// Completion events `(time, flow, version)`; empty for the null sink.
+    fn completions(&self) -> &[(SimTime, FlowId, Version)];
+    /// Alarm events `(time, flow, reason)`; empty for the null sink.
+    fn alarms(&self) -> &[(SimTime, FlowId, RejectReason)];
+
+    /// Downcast to the full-recording sink, when this is one. The
+    /// harness's `NetworkSim::metrics()` convenience goes through here.
+    fn as_full(&self) -> Option<&Metrics> {
+        None
+    }
+
+    /// Completion time of `flow` at `version`, if it completed.
+    fn completion_of(&self, flow: FlowId, version: Version) -> Option<SimTime> {
+        self.completions()
+            .iter()
+            .find(|&&(_, f, v)| f == flow && v == version)
+            .map(|&(t, _, _)| t)
+    }
+
+    /// Completion time of the *last* flow among `flows` (the multi-flow
+    /// metric), if all completed.
+    fn last_completion(&self, flows: &[FlowId]) -> Option<SimTime> {
+        let mut last = SimTime::ZERO;
+        for &f in flows {
+            let t = self
+                .completions()
+                .iter()
+                .filter(|&&(_, g, _)| g == f)
+                .map(|&(t, _, _)| t)
+                .max()?;
+            last = last.max(t);
+        }
+        Some(last)
+    }
+}
 
 /// All measurements of one simulation run.
 #[derive(Debug, Clone, Default)]
@@ -29,37 +131,67 @@ pub struct Metrics {
     pub unm_deliveries: Vec<(SimTime, NodeId)>,
 }
 
-impl Metrics {
-    pub(crate) fn record_arrival(&mut self, t: SimTime, node: NodeId, pkt: DataPacket) {
+impl MetricsSink for Metrics {
+    fn record_arrival(&mut self, t: SimTime, node: NodeId, pkt: DataPacket) {
         self.arrivals.push((t, node, pkt));
     }
 
-    pub(crate) fn record_delivery(&mut self, t: SimTime, node: NodeId, pkt: DataPacket) {
+    fn record_delivery(&mut self, t: SimTime, node: NodeId, pkt: DataPacket) {
         self.deliveries.push((t, node, pkt));
     }
 
-    pub(crate) fn record_drop(
-        &mut self,
-        t: SimTime,
-        node: NodeId,
-        pkt: DataPacket,
-        reason: DropReason,
-    ) {
+    fn record_drop(&mut self, t: SimTime, node: NodeId, pkt: DataPacket, reason: DropReason) {
         self.drops.push((t, node, pkt, reason));
     }
 
-    pub(crate) fn record_completion(&mut self, t: SimTime, flow: FlowId, version: Version) {
+    fn record_completion(&mut self, t: SimTime, flow: FlowId, version: Version) {
         self.completions.push((t, flow, version));
     }
 
-    pub(crate) fn record_alarm(&mut self, t: SimTime, flow: FlowId, reason: RejectReason) {
+    fn record_alarm(&mut self, t: SimTime, flow: FlowId, reason: RejectReason) {
         self.alarms.push((t, flow, reason));
     }
 
-    pub(crate) fn record_trigger(&mut self, t: SimTime, batch: usize) {
+    fn record_trigger(&mut self, t: SimTime, batch: usize) {
         self.triggers.push((t, batch));
     }
 
+    fn record_control_drop(&mut self) {
+        self.control_drops += 1;
+    }
+
+    fn record_unm_delivery(&mut self, t: SimTime, node: NodeId) {
+        self.unm_deliveries.push((t, node));
+    }
+
+    fn counts(&self) -> MetricsCounts {
+        MetricsCounts {
+            arrivals: self.arrivals.len() as u64,
+            deliveries: self.deliveries.len() as u64,
+            drops: self.drops.len() as u64,
+            ttl_deaths: self.ttl_deaths() as u64,
+            completions: self.completions.len() as u64,
+            alarms: self.alarms.len() as u64,
+            triggers: self.triggers.len() as u64,
+            control_drops: self.control_drops,
+            unm_deliveries: self.unm_deliveries.len() as u64,
+        }
+    }
+
+    fn completions(&self) -> &[(SimTime, FlowId, Version)] {
+        &self.completions
+    }
+
+    fn alarms(&self) -> &[(SimTime, FlowId, RejectReason)] {
+        &self.alarms
+    }
+
+    fn as_full(&self) -> Option<&Metrics> {
+        Some(self)
+    }
+}
+
+impl Metrics {
     /// Completion time of `flow` at `version`, if it completed.
     pub fn completion_of(&self, flow: FlowId, version: Version) -> Option<SimTime> {
         self.completions
@@ -125,6 +257,132 @@ impl Metrics {
     }
 }
 
+/// O(1)-memory sink for scale runs: per-packet series become counters
+/// plus one bounded [`Reservoir`] of data-plane delivery latencies
+/// (delivery time minus the batch trigger time, in milliseconds), while
+/// completions and alarms stay exact event lists (bounded by the number
+/// of flow updates).
+#[derive(Debug, Clone)]
+pub struct StreamingMetrics {
+    counts: MetricsCounts,
+    completions: Vec<(SimTime, FlowId, Version)>,
+    alarms: Vec<(SimTime, FlowId, RejectReason)>,
+    delivery_times: Reservoir,
+    first_trigger: Option<SimTime>,
+}
+
+impl Default for StreamingMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingMetrics {
+    /// Default reservoir: 1024 retained samples, fixed seed (the sink is
+    /// deterministic and independent of the simulation's RNG streams).
+    pub fn new() -> Self {
+        Self::with_reservoir(1024, 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Choose the reservoir size and seed explicitly.
+    pub fn with_reservoir(capacity: usize, seed: u64) -> Self {
+        StreamingMetrics {
+            counts: MetricsCounts::default(),
+            completions: Vec::new(),
+            alarms: Vec::new(),
+            delivery_times: Reservoir::new(capacity, seed),
+            first_trigger: None,
+        }
+    }
+
+    /// The bounded sample of delivery latencies (ms since first trigger).
+    pub fn delivery_times(&self) -> &Reservoir {
+        &self.delivery_times
+    }
+}
+
+impl MetricsSink for StreamingMetrics {
+    fn record_arrival(&mut self, _t: SimTime, _node: NodeId, _pkt: DataPacket) {
+        self.counts.arrivals += 1;
+    }
+
+    fn record_delivery(&mut self, t: SimTime, _node: NodeId, _pkt: DataPacket) {
+        self.counts.deliveries += 1;
+        let base = self.first_trigger.unwrap_or(SimTime::ZERO);
+        self.delivery_times
+            .push(t.saturating_since(base).as_millis_f64());
+    }
+
+    fn record_drop(&mut self, _t: SimTime, _node: NodeId, _pkt: DataPacket, reason: DropReason) {
+        self.counts.drops += 1;
+        if reason == DropReason::TtlExpired {
+            self.counts.ttl_deaths += 1;
+        }
+    }
+
+    fn record_completion(&mut self, t: SimTime, flow: FlowId, version: Version) {
+        self.counts.completions += 1;
+        self.completions.push((t, flow, version));
+    }
+
+    fn record_alarm(&mut self, t: SimTime, flow: FlowId, reason: RejectReason) {
+        self.counts.alarms += 1;
+        self.alarms.push((t, flow, reason));
+    }
+
+    fn record_trigger(&mut self, t: SimTime, _batch: usize) {
+        self.counts.triggers += 1;
+        self.first_trigger.get_or_insert(t);
+    }
+
+    fn record_control_drop(&mut self) {
+        self.counts.control_drops += 1;
+    }
+
+    fn record_unm_delivery(&mut self, _t: SimTime, _node: NodeId) {
+        self.counts.unm_deliveries += 1;
+    }
+
+    fn counts(&self) -> MetricsCounts {
+        self.counts
+    }
+
+    fn completions(&self) -> &[(SimTime, FlowId, Version)] {
+        &self.completions
+    }
+
+    fn alarms(&self) -> &[(SimTime, FlowId, RejectReason)] {
+        &self.alarms
+    }
+}
+
+/// Records nothing; for pure-throughput measurements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMetrics;
+
+impl MetricsSink for NullMetrics {
+    fn record_arrival(&mut self, _t: SimTime, _node: NodeId, _pkt: DataPacket) {}
+    fn record_delivery(&mut self, _t: SimTime, _node: NodeId, _pkt: DataPacket) {}
+    fn record_drop(&mut self, _t: SimTime, _node: NodeId, _pkt: DataPacket, _reason: DropReason) {}
+    fn record_completion(&mut self, _t: SimTime, _flow: FlowId, _version: Version) {}
+    fn record_alarm(&mut self, _t: SimTime, _flow: FlowId, _reason: RejectReason) {}
+    fn record_trigger(&mut self, _t: SimTime, _batch: usize) {}
+    fn record_control_drop(&mut self) {}
+    fn record_unm_delivery(&mut self, _t: SimTime, _node: NodeId) {}
+
+    fn counts(&self) -> MetricsCounts {
+        MetricsCounts::default()
+    }
+
+    fn completions(&self) -> &[(SimTime, FlowId, Version)] {
+        &[]
+    }
+
+    fn alarms(&self) -> &[(SimTime, FlowId, RejectReason)] {
+        &[]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +437,66 @@ mod tests {
         m.record_drop(at(1), NodeId(0), pkt(1), DropReason::TtlExpired);
         m.record_drop(at(2), NodeId(0), pkt(2), DropReason::NoRule);
         assert_eq!(m.ttl_deaths(), 1);
+    }
+
+    /// Feed the same event stream to the full and streaming sinks: the
+    /// aggregate counters, completions, and alarms must agree.
+    #[test]
+    fn streaming_sink_matches_full_sink_aggregates() {
+        let mut full = Metrics::default();
+        let mut streaming = StreamingMetrics::new();
+        let sinks: [&mut dyn MetricsSink; 2] = [&mut full, &mut streaming];
+        for sink in sinks {
+            sink.record_trigger(at(0), 0);
+            sink.record_arrival(at(1), NodeId(0), pkt(1));
+            sink.record_arrival(at(2), NodeId(1), pkt(1));
+            sink.record_delivery(at(3), NodeId(1), pkt(1));
+            sink.record_drop(at(4), NodeId(0), pkt(2), DropReason::TtlExpired);
+            sink.record_drop(at(5), NodeId(0), pkt(3), DropReason::NoRule);
+            sink.record_completion(at(6), FlowId(0), Version(2));
+            sink.record_alarm(at(7), FlowId(1), RejectReason::InsufficientCapacity);
+            sink.record_control_drop();
+            sink.record_unm_delivery(at(8), NodeId(1));
+        }
+        assert_eq!(full.counts(), streaming.counts());
+        assert_eq!(
+            MetricsSink::completions(&full),
+            MetricsSink::completions(&streaming)
+        );
+        assert_eq!(MetricsSink::alarms(&full), MetricsSink::alarms(&streaming));
+        assert_eq!(streaming.completion_of(FlowId(0), Version(2)), Some(at(6)));
+        assert_eq!(streaming.last_completion(&[FlowId(0)]), Some(at(6)));
+        assert!(full.as_full().is_some());
+        assert!(streaming.as_full().is_none());
+        // Delivery latency is measured from the first trigger.
+        assert_eq!(streaming.delivery_times().len(), 1);
+        assert!((streaming.delivery_times().max() - 3.0).abs() < 1e-9);
+    }
+
+    /// The streaming sink's memory is bounded by its reservoir capacity no
+    /// matter how much traffic is recorded.
+    #[test]
+    fn streaming_sink_memory_is_bounded() {
+        let mut s = StreamingMetrics::with_reservoir(32, 1);
+        s.record_trigger(at(0), 0);
+        for i in 0..100_000u64 {
+            s.record_arrival(at(i), NodeId(0), pkt(i as u32));
+            s.record_delivery(at(i + 1), NodeId(1), pkt(i as u32));
+        }
+        assert_eq!(s.counts().arrivals, 100_000);
+        assert_eq!(s.counts().deliveries, 100_000);
+        assert_eq!(s.delivery_times().retained(), 32);
+        assert!(s.completions.is_empty());
+    }
+
+    #[test]
+    fn null_sink_records_nothing() {
+        let mut n = NullMetrics;
+        n.record_arrival(at(1), NodeId(0), pkt(1));
+        n.record_completion(at(2), FlowId(0), Version(2));
+        n.record_control_drop();
+        assert_eq!(n.counts(), MetricsCounts::default());
+        assert!(n.completions().is_empty());
+        assert_eq!(n.completion_of(FlowId(0), Version(2)), None);
     }
 }

@@ -8,7 +8,8 @@
 
 use crate::checker::{check, FlowSpec, Violation};
 use crate::config::{ms, ControlLatency, InstallDelay, SimConfig};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, MetricsSink};
+use crate::table::SwitchTable;
 use p4update_analysis::{analyze_batch_with, AnalysisContext, Diagnostic};
 use p4update_baselines::{CentralController, CentralSwitchLogic, EzController, EzSwitchLogic};
 use p4update_core::{prepare_update, P4UpdateController, P4UpdateLogic, PreparedUpdate, Strategy};
@@ -133,8 +134,8 @@ pub enum Event {
 /// The simulated network world.
 pub struct NetworkSim {
     topo: Topology,
-    /// Per-switch chassis.
-    pub switches: BTreeMap<NodeId, Switch>,
+    /// Per-switch chassis, densely indexed by [`NodeId`].
+    pub switches: SwitchTable,
     /// The controller.
     pub controller: ControllerImpl,
     config: SimConfig,
@@ -143,18 +144,18 @@ pub struct NetworkSim {
     sp_latency_ms: Vec<Vec<f64>>,
     /// Hop count of the latency-shortest path between every node pair.
     sp_hops: Vec<Vec<u32>>,
-    /// Serial-processing horizon per switch.
-    switch_busy: BTreeMap<NodeId, SimTime>,
-    /// Switches with an armed resubmission poll loop.
-    polling: std::collections::BTreeSet<NodeId>,
+    /// Serial-processing horizon per switch, indexed by `NodeId::index`.
+    switch_busy: Vec<SimTime>,
+    /// Whether each switch has an armed resubmission poll loop.
+    polling: Vec<bool>,
     /// Serial-processing horizon of the controller.
     ctrl_busy: SimTime,
     /// Update batches by trigger index.
     batches: Vec<Vec<FlowUpdate>>,
     /// Flow specs for the checker and metrics.
     pub flows: BTreeMap<FlowId, FlowSpec>,
-    /// Collected measurements.
-    pub metrics: Metrics,
+    /// Where measurements go; defaults to the full-recording [`Metrics`].
+    sink: Box<dyn MetricsSink>,
     /// Violations found by per-event checking (paranoid mode).
     pub violations: Vec<(SimTime, Violation)>,
     /// Findings of the static analysis gate (`SimConfig::analysis_gate`):
@@ -174,17 +175,14 @@ impl NetworkSim {
         free_capacity: Option<BTreeMap<(NodeId, NodeId), f64>>,
     ) -> Self {
         let mut rng = SimRng::new(config.seed);
-        let switches: BTreeMap<NodeId, Switch> = topo
-            .node_ids()
-            .map(|id| {
-                let logic: Box<dyn SwitchLogic + Send> = match system {
-                    System::P4Update(_) => Box::new(P4UpdateLogic::new()),
-                    System::EzSegway { .. } => Box::new(EzSwitchLogic::new()),
-                    System::Central { .. } => Box::new(CentralSwitchLogic::new()),
-                };
-                (id, Switch::new(id, &topo, logic))
-            })
-            .collect();
+        let switches = SwitchTable::build(&topo, |id| {
+            let logic: Box<dyn SwitchLogic + Send> = match system {
+                System::P4Update(_) => Box::new(P4UpdateLogic::new()),
+                System::EzSegway { .. } => Box::new(EzSwitchLogic::new()),
+                System::Central { .. } => Box::new(CentralSwitchLogic::new()),
+            };
+            Switch::new(id, &topo, logic)
+        });
         let controller = match system {
             System::P4Update(strategy) => {
                 // The NIB lets the controller set up paths for flows the
@@ -223,8 +221,8 @@ impl NetworkSim {
         }
         let _ = rng.fork(0); // reserve a stream for future model components
         NetworkSim {
-            switch_busy: topo.node_ids().map(|id| (id, SimTime::ZERO)).collect(),
-            polling: std::collections::BTreeSet::new(),
+            switch_busy: vec![SimTime::ZERO; n],
+            polling: vec![false; n],
             topo,
             switches,
             controller,
@@ -235,7 +233,7 @@ impl NetworkSim {
             ctrl_busy: SimTime::ZERO,
             batches: Vec::new(),
             flows: BTreeMap::new(),
-            metrics: Metrics::default(),
+            sink: Box::new(Metrics::default()),
             violations: Vec::new(),
             analysis_findings: Vec::new(),
         }
@@ -251,6 +249,41 @@ impl NetworkSim {
         &self.config
     }
 
+    /// Replace the metrics sink (builder form). The default is the
+    /// full-recording [`Metrics`]; scale runs install
+    /// [`crate::StreamingMetrics`] or [`crate::NullMetrics`] instead.
+    /// Swap sinks *before* running: sinks are observation-only, so the
+    /// simulation itself is unaffected, but a fresh sink obviously does
+    /// not know about events recorded into its predecessor.
+    pub fn with_metrics_sink(mut self, sink: Box<dyn MetricsSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Replace the metrics sink in place (see [`Self::with_metrics_sink`]).
+    pub fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>) {
+        self.sink = sink;
+    }
+
+    /// The installed metrics sink, for fidelity-agnostic queries
+    /// (counters, completions, alarms).
+    pub fn sink(&self) -> &dyn MetricsSink {
+        &*self.sink
+    }
+
+    /// The full-recording metrics, when the full sink is installed (the
+    /// default). Tests and figure regeneration read event series through
+    /// this accessor.
+    ///
+    /// # Panics
+    /// If a streaming or null sink is installed — those runs must query
+    /// through [`Self::sink`] instead.
+    pub fn metrics(&self) -> &Metrics {
+        self.sink
+            .as_full()
+            .expect("metrics(): a non-full MetricsSink is installed; query via sink() instead")
+    }
+
     /// Install a flow's initial path directly (scenario bootstrap: the old
     /// configuration pre-exists the experiment), reserving capacities and
     /// registering the flow with the controller.
@@ -260,7 +293,7 @@ impl NetworkSim {
             let next = path.nodes().get(i + 1).copied();
             let prev = i.checked_sub(1).map(|j| path.nodes()[j]);
             let dist = (path.nodes().len() - 1 - i) as u32;
-            let sw = self.switches.get_mut(&node).expect("node exists");
+            let sw = self.switches.get_mut(node).expect("node exists");
             sw.state.uib.update(flow, |e| {
                 e.applied_version = Version(1);
                 e.applied_distance = dist;
@@ -379,7 +412,7 @@ impl NetworkSim {
             match effect {
                 Effect::SendSwitch { to, msg } => {
                     if self.fault_drop(self.config.faults.drop_switch_to_switch) {
-                        self.metrics.control_drops += 1;
+                        self.sink.record_control_drop();
                         continue;
                     }
                     let decision = if matches!(msg, Message::Data(_)) {
@@ -394,7 +427,7 @@ impl NetworkSim {
                         msg,
                     };
                     match decision {
-                        FaultDecision::Drop => self.metrics.control_drops += 1,
+                        FaultDecision::Drop => self.sink.record_control_drop(),
                         FaultDecision::Deliver => sched.schedule_at(at, event),
                         FaultDecision::Delay(d) => sched.schedule_at(at + d, event),
                         FaultDecision::Duplicate(d) => {
@@ -407,7 +440,7 @@ impl NetworkSim {
                     let at = base + self.control_latency(node);
                     let event = Event::DeliverToController { from: node, msg };
                     match self.fault_choice(sched) {
-                        FaultDecision::Drop => self.metrics.control_drops += 1,
+                        FaultDecision::Drop => self.sink.record_control_drop(),
                         FaultDecision::Deliver => sched.schedule_at(at, event),
                         FaultDecision::Delay(d) => sched.schedule_at(at + d, event),
                         FaultDecision::Duplicate(d) => {
@@ -436,10 +469,10 @@ impl NetworkSim {
                     );
                 }
                 Effect::PacketDelivered { pkt } => {
-                    self.metrics.record_delivery(base, node, pkt);
+                    self.sink.record_delivery(base, node, pkt);
                 }
                 Effect::PacketDropped { pkt, reason } => {
-                    self.metrics.record_drop(base, node, pkt, reason);
+                    self.sink.record_drop(base, node, pkt, reason);
                 }
             }
         }
@@ -460,7 +493,7 @@ impl NetworkSim {
                 CtrlEffect::Send { to, msg } => {
                     send_time += tx;
                     if self.fault_drop(self.config.faults.drop_ctrl_to_switch) {
-                        self.metrics.control_drops += 1;
+                        self.sink.record_control_drop();
                         continue;
                     }
                     let mut at = send_time + self.control_latency(to) + self.fault_jitter();
@@ -475,7 +508,7 @@ impl NetworkSim {
                         msg,
                     };
                     match self.fault_choice(sched) {
-                        FaultDecision::Drop => self.metrics.control_drops += 1,
+                        FaultDecision::Drop => self.sink.record_control_drop(),
                         FaultDecision::Deliver => sched.schedule_at(at, event),
                         FaultDecision::Delay(d) => sched.schedule_at(at + d, event),
                         FaultDecision::Duplicate(d) => {
@@ -485,10 +518,10 @@ impl NetworkSim {
                     }
                 }
                 CtrlEffect::UpdateComplete { flow, version } => {
-                    self.metrics.record_completion(base, flow, version);
+                    self.sink.record_completion(base, flow, version);
                 }
                 CtrlEffect::AlarmRaised { flow, reason } => {
-                    self.metrics.record_alarm(base, flow, reason);
+                    self.sink.record_alarm(base, flow, reason);
                 }
             }
         }
@@ -500,13 +533,13 @@ impl NetworkSim {
     /// one pipeline pass per parked message.
     fn arm_poll(&mut self, node: NodeId, sched: &mut Scheduler<Event>) {
         let interval = self.config.timing.resubmit_poll_ms;
-        if interval <= 0.0 || self.polling.contains(&node) {
+        if interval <= 0.0 || self.polling[node.index()] {
             return;
         }
-        if self.switches[&node].parked_messages() == 0 {
+        if self.switches[node].parked_messages() == 0 {
             return;
         }
-        self.polling.insert(node);
+        self.polling[node.index()] = true;
         sched.schedule_in(ms(interval), Event::PollTick { node });
     }
 
@@ -571,38 +604,38 @@ impl World for NetworkSim {
         match event {
             Event::DeliverToSwitch { node, from, msg } => {
                 // Serial pipeline: requeue while the switch is busy.
-                let busy = self.switch_busy[&node];
+                let busy = self.switch_busy[node.index()];
                 if busy > now {
                     sched.schedule_at(busy, Event::DeliverToSwitch { node, from, msg });
                     return;
                 }
                 let done = now + ms(self.config.timing.switch_proc_ms);
-                self.switch_busy.insert(node, done);
+                self.switch_busy[node.index()] = done;
                 if let Message::Data(pkt) = &msg {
-                    self.metrics.record_arrival(now, node, *pkt);
+                    self.sink.record_arrival(now, node, *pkt);
                 }
                 if matches!(msg, Message::Unm(_)) {
-                    self.metrics.unm_deliveries.push((now, node));
+                    self.sink.record_unm_delivery(now, node);
                 }
                 let effects = self
                     .switches
-                    .get_mut(&node)
+                    .get_mut(node)
                     .expect("switch exists")
                     .handle_message(now, from, msg);
                 self.apply_switch_effects(node, done, effects, sched);
                 self.arm_poll(node, sched);
             }
             Event::InstallComplete { node, flow, token } => {
-                let busy = self.switch_busy[&node];
+                let busy = self.switch_busy[node.index()];
                 if busy > now {
                     sched.schedule_at(busy, Event::InstallComplete { node, flow, token });
                     return;
                 }
                 let done = now + ms(self.config.timing.switch_proc_ms);
-                self.switch_busy.insert(node, done);
+                self.switch_busy[node.index()] = done;
                 let effects = self
                     .switches
-                    .get_mut(&node)
+                    .get_mut(node)
                     .expect("switch exists")
                     .handle_installed(now, flow, token);
                 self.apply_switch_effects(node, done, effects, sched);
@@ -613,7 +646,7 @@ impl World for NetworkSim {
                 pkt,
                 egress_hint,
             } => {
-                let busy = self.switch_busy[&node];
+                let busy = self.switch_busy[node.index()];
                 if busy > now {
                     sched.schedule_at(
                         busy,
@@ -626,11 +659,11 @@ impl World for NetworkSim {
                     return;
                 }
                 let done = now + ms(self.config.timing.switch_proc_ms);
-                self.switch_busy.insert(node, done);
-                self.metrics.record_arrival(now, node, pkt);
+                self.switch_busy[node.index()] = done;
+                self.sink.record_arrival(now, node, pkt);
                 let effects = self
                     .switches
-                    .get_mut(&node)
+                    .get_mut(node)
                     .expect("switch exists")
                     .inject_packet(now, pkt, egress_hint);
                 self.apply_switch_effects(node, done, effects, sched);
@@ -654,22 +687,22 @@ impl World for NetworkSim {
                 self.apply_ctrl_effects(now, out, sched);
             }
             Event::PollTick { node } => {
-                let parked = self.switches[&node].parked_messages();
+                let parked = self.switches[node].parked_messages();
                 let interval = self.config.timing.resubmit_poll_ms;
                 if parked == 0 || interval <= 0.0 {
-                    self.polling.remove(&node);
+                    self.polling[node.index()] = false;
                 } else {
                     // Each parked message makes one pipeline pass.
-                    let start = now.max(self.switch_busy[&node]);
+                    let start = now.max(self.switch_busy[node.index()]);
                     let spin = ms(self.config.timing.switch_proc_ms).saturating_mul(parked as u64);
                     let done = start + spin;
-                    self.switch_busy.insert(node, done);
+                    self.switch_busy[node.index()] = done;
                     sched.schedule_at(done + ms(interval), Event::PollTick { node });
                 }
             }
             Event::Trigger { batch } => {
                 let updates = self.batches.get(batch).cloned().unwrap_or_default();
-                self.metrics.record_trigger(now, batch);
+                self.sink.record_trigger(now, batch);
                 if self.config.analysis_gate {
                     self.run_analysis_gate(&updates);
                 }
@@ -700,7 +733,13 @@ impl World for NetworkSim {
 /// Convenience: wrap a [`NetworkSim`] into a ready-to-run simulation with
 /// a livelock guard sized for the evaluation scenarios.
 pub fn simulation(world: NetworkSim) -> Simulation<NetworkSim> {
-    Simulation::new(world).with_event_budget(20_000_000)
+    // Pre-size the event heap: in-flight events scale with the switch
+    // count (serial pipelines bound per-switch fan-out), so a small
+    // multiple of it avoids every steady-state reallocation.
+    let capacity = world.topology().node_count() * 8 + 1024;
+    Simulation::new(world)
+        .with_event_budget(20_000_000)
+        .with_queue_capacity(capacity)
 }
 
 #[cfg(test)]
@@ -759,8 +798,8 @@ mod tests {
         );
         assert!(sim.run().drained());
         let world = sim.into_world();
-        assert_eq!(world.metrics.deliveries.len(), 1);
-        let (t, node, pkt) = &world.metrics.deliveries[0];
+        assert_eq!(world.metrics().deliveries.len(), 1);
+        let (t, node, pkt) = &world.metrics().deliveries[0];
         assert_eq!(*node, NodeId(7));
         assert_eq!(pkt.seq, 7);
         // 3 hops of 20 ms plus processing.
@@ -839,7 +878,11 @@ mod tests {
             assert!(sim.run().drained());
             let events = sim.events_delivered();
             let world = sim.into_world();
-            (events, world.metrics.completions, world.violations)
+            (
+                events,
+                world.metrics().completions.clone(),
+                world.violations,
+            )
         };
         assert_eq!(run(false), run(true));
     }
@@ -870,9 +913,9 @@ mod tests {
         sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
         assert!(sim.run().drained());
         let world = sim.into_world();
-        assert!(world.metrics.completions.is_empty());
+        assert!(world.metrics().completions.is_empty());
         assert!(world.violations.is_empty(), "{:?}", world.violations);
-        assert!(world.metrics.control_drops > 0);
+        assert!(world.metrics().control_drops > 0);
     }
 
     #[test]

@@ -54,9 +54,12 @@ fn assert_new_path_active(world: &NetworkSim) {
 fn p4update_dual_layer_completes_fig1() {
     let world = run_fig1(System::P4Update(Strategy::Auto), 1);
     assert!(
-        world.metrics.completion_of(FlowId(0), Version(2)).is_some(),
+        world
+            .metrics()
+            .completion_of(FlowId(0), Version(2))
+            .is_some(),
         "controller never learned of completion; alarms: {:?}",
-        world.metrics.alarms
+        world.metrics().alarms
     );
     assert_new_path_active(&world);
     assert!(
@@ -64,13 +67,16 @@ fn p4update_dual_layer_completes_fig1() {
         "consistency violated: {:?}",
         world.violations
     );
-    assert!(world.metrics.alarms.is_empty());
+    assert!(world.metrics().alarms.is_empty());
 }
 
 #[test]
 fn p4update_single_layer_completes_fig1() {
     let world = run_fig1(System::P4Update(Strategy::ForceSingle), 2);
-    assert!(world.metrics.completion_of(FlowId(0), Version(2)).is_some());
+    assert!(world
+        .metrics()
+        .completion_of(FlowId(0), Version(2))
+        .is_some());
     assert_new_path_active(&world);
     assert!(world.violations.is_empty(), "{:?}", world.violations);
 }
@@ -79,7 +85,10 @@ fn p4update_single_layer_completes_fig1() {
 fn ez_segway_completes_fig1() {
     let world = run_fig1(System::EzSegway { congestion: false }, 3);
     assert!(
-        world.metrics.completion_of(FlowId(0), Version(2)).is_some(),
+        world
+            .metrics()
+            .completion_of(FlowId(0), Version(2))
+            .is_some(),
         "ez-Segway never completed"
     );
     assert_new_path_active(&world);
@@ -89,7 +98,10 @@ fn ez_segway_completes_fig1() {
 #[test]
 fn central_completes_fig1() {
     let world = run_fig1(System::Central { congestion: false }, 4);
-    assert!(world.metrics.completion_of(FlowId(0), Version(2)).is_some());
+    assert!(world
+        .metrics()
+        .completion_of(FlowId(0), Version(2))
+        .is_some());
     assert_new_path_active(&world);
     assert!(world.violations.is_empty(), "{:?}", world.violations);
 }
@@ -116,7 +128,7 @@ fn dual_layer_beats_single_layer_on_fig1_with_install_delays() {
             assert!(sim.run().drained());
             let world = sim.into_world();
             let t = world
-                .metrics
+                .metrics()
                 .completion_of(FlowId(0), Version(2))
                 .expect("completed");
             *acc += t.as_millis_f64();

@@ -62,7 +62,7 @@ fn main() {
     let world = sim.into_world();
 
     println!("completions (controller view):");
-    for &(t, flow, version) in &world.metrics.completions {
+    for &(t, flow, version) in &world.metrics().completions {
         println!("  {flow} reached {version} at {t}");
     }
     let a = world.switches[&NodeId(1)].state.uib.read(flow_a);

@@ -1,0 +1,110 @@
+//! Performance baseline runner: drives the multi-flow scale benchmark and
+//! writes `BENCH_p4update.json` (events/sec, peak queue depth, p50/p99
+//! flow-completion times for every scale × system cell).
+//!
+//! ```sh
+//! cargo run --release --example perf              # full run, writes BENCH_p4update.json
+//! cargo run --example perf -- --smoke             # CI smoke: small scales, schema check only
+//! cargo run --example perf -- --check BENCH_p4update.json   # validate an existing artifact
+//! cargo run --release --example perf -- --out /tmp/bench.json
+//! ```
+//!
+//! The full run should be made from a release build on an otherwise idle
+//! machine; the committed baseline's absolute numbers are indicative, not
+//! normative — `--check` validates shape, not throughput.
+
+use p4update::perf::{run_bench, validate_report, Json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_p4update.json");
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--check" => {
+                i += 1;
+                check = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--check needs a path")),
+                );
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let doc =
+            Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: malformed JSON: {e}")));
+        // The committed baseline must cover all three scales.
+        if let Err(e) = validate_report(&doc, 3) {
+            fail(&format!("{path}: {e}"));
+        }
+        println!("{path}: ok");
+        return;
+    }
+
+    if !smoke && cfg!(debug_assertions) {
+        eprintln!("note: full run in a debug build; use --release for baseline numbers");
+    }
+    let report = run_bench(smoke);
+    let min_scales = if smoke { 1 } else { 3 };
+    if let Err(e) = validate_report(&report, min_scales) {
+        fail(&format!("generated report failed validation: {e}"));
+    }
+    if smoke {
+        // Smoke mode is a CI health check: run, validate, don't persist.
+        println!("smoke run ok");
+        return;
+    }
+    let text = report.to_string_pretty();
+    std::fs::write(&out, &text).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    println!("wrote {out}");
+    print_summary(&report);
+}
+
+fn print_summary(report: &p4update::perf::Json) {
+    let Some(scales) = report.get("scales").and_then(Json::as_arr) else {
+        return;
+    };
+    for scale in scales {
+        let name = scale.get("scale").and_then(Json::as_str).unwrap_or("?");
+        let nodes = scale.get("nodes").and_then(Json::as_f64).unwrap_or(0.0);
+        println!("{name} ({nodes} switches):");
+        for sys in scale.get("systems").and_then(Json::as_arr).unwrap_or(&[]) {
+            println!(
+                "  {:<12} {:>10.0} events/s   peak queue {:>6.0}   fct p50 {:>8.1} ms   p99 {:>8.1} ms   done {:.1}%",
+                sys.get("system").and_then(Json::as_str).unwrap_or("?"),
+                sys.get("events_per_sec").and_then(Json::as_f64).unwrap_or(0.0),
+                sys.get("peak_queue_depth").and_then(Json::as_f64).unwrap_or(0.0),
+                sys.get("fct_p50_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                sys.get("fct_p99_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                sys.get("completion_rate").and_then(Json::as_f64).unwrap_or(0.0) * 100.0,
+            );
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: perf [--smoke] [--out PATH] [--check FILE]");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

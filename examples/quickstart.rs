@@ -49,7 +49,7 @@ fn main() {
     let world = sim.into_world();
 
     let done = world
-        .metrics
+        .metrics()
         .completion_of(FlowId(0), Version(2))
         .expect("update completed");
     println!("\nupdate completed after {done} (simulated)");

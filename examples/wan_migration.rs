@@ -65,7 +65,7 @@ fn main() {
         assert!(sim.run().drained());
         let world = sim.into_world();
         let t = world
-            .metrics
+            .metrics()
             .completion_of(update.flow, Version(2))
             .expect("update completes");
         println!("  {label:<16} {:>8.1} ms", t.as_millis_f64());

@@ -36,4 +36,14 @@ cargo test -q --release --test corpus_replay
 echo "==> exploration smoke run (small budget; P4Update must stay clean)"
 cargo run -q --release --example explore -- fig2-ez fig2-p4 --runs 64 --walks 32
 
+echo "==> perf smoke run (small scales; validates the emitted schema)"
+cargo run -q --release --example perf -- --smoke
+
+echo "==> committed BENCH_p4update.json validates against the schema"
+cargo run -q --release --example perf -- --check BENCH_p4update.json
+
+# A full baseline regeneration (`cargo run --release --example perf`) is
+# opt-in: absolute throughput numbers are machine-dependent, so CI only
+# checks that the committed artifact is well-formed.
+
 echo "All checks passed."

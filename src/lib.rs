@@ -33,7 +33,7 @@
 //! assert!(sim.run().drained());
 //!
 //! let world = sim.into_world();
-//! assert!(world.metrics.completion_of(FlowId(0), Version(2)).is_some());
+//! assert!(world.metrics().completion_of(FlowId(0), Version(2)).is_some());
 //! assert!(world.violations.is_empty()); // loop/blackhole/congestion free throughout
 //! ```
 //!
@@ -64,6 +64,7 @@ pub use p4update_des as des;
 pub use p4update_explore as explore;
 pub use p4update_messages as messages;
 pub use p4update_net as net;
+pub use p4update_perf as perf;
 pub use p4update_pipeline as pipeline;
 pub use p4update_sim as sim;
 pub use p4update_traffic as traffic;

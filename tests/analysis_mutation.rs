@@ -225,7 +225,7 @@ fn analyzer_clean_plans_run_violation_free() {
         let world = sim.into_world();
         assert!(
             world
-                .metrics
+                .metrics()
                 .completion_of(update.flow, Version(2))
                 .is_some(),
             "update must complete: {update:?}"

@@ -92,7 +92,7 @@ fn moderate_load_multi_flow_completes() {
             world.violations
         );
         assert!(
-            world.metrics.last_completion(&flows).is_some(),
+            world.metrics().last_completion(&flows).is_some(),
             "seed {seed}: some flow never completed at moderate load"
         );
     }

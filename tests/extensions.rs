@@ -36,7 +36,7 @@ fn cleanup_clears_abandoned_old_path() {
     assert!(sim.run().drained());
     let world = sim.into_world();
 
-    assert!(world.metrics.completion_of(flow, Version(2)).is_some());
+    assert!(world.metrics().completion_of(flow, Version(2)).is_some());
     assert!(world.violations.is_empty(), "{:?}", world.violations);
     // Node 1 left the path: rule cleared, capacity released.
     let e1 = world.switches[&NodeId(1)].state.uib.read(flow);
@@ -85,7 +85,11 @@ fn recovery_completes_update_despite_unm_loss() {
             "seed {seed}: {:?}",
             world.violations
         );
-        if world.metrics.completion_of(FlowId(0), Version(2)).is_some() {
+        if world
+            .metrics()
+            .completion_of(FlowId(0), Version(2))
+            .is_some()
+        {
             completed += 1;
         }
     }
@@ -123,7 +127,7 @@ fn without_recovery_unm_loss_stalls() {
         let _ = sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
         if sim
             .into_world()
-            .metrics
+            .metrics()
             .completion_of(FlowId(0), Version(2))
             .is_some()
         {
@@ -171,13 +175,13 @@ fn frm_sets_up_a_new_flow_end_to_end() {
     let world = sim.into_world();
     // The first packets blackholed, the flow got reported and set up, and
     // later packets were delivered at the egress.
-    let delivered = world.metrics.delivered_seqs_at(egress);
+    let delivered = world.metrics().delivered_seqs_at(egress);
     assert!(
         !delivered.is_empty(),
         "no packets delivered; flow setup never happened"
     );
     assert!(
-        world.metrics.completion_of(flow, Version(1)).is_some(),
+        world.metrics().completion_of(flow, Version(1)).is_some(),
         "controller never learned the setup completed"
     );
     let e = world.switches[&ingress].state.uib.read(flow);

@@ -99,7 +99,10 @@ fn reordering_preserves_consistency_and_liveness() {
                 world.violations
             );
             assert!(
-                world.metrics.completion_of(FlowId(0), Version(2)).is_some(),
+                world
+                    .metrics()
+                    .completion_of(FlowId(0), Version(2))
+                    .is_some(),
                 "{strategy:?} seed {seed}: no completion without loss"
             );
         }
@@ -147,7 +150,7 @@ fn fast_forward_completes_under_unm_loss_with_controller_retry() {
         let world = sim.into_world();
         (
             world.violations.is_empty(),
-            world.metrics.completion_of(flow, Version(3)).is_some(),
+            world.metrics().completion_of(flow, Version(3)).is_some(),
         )
     };
 
@@ -238,7 +241,7 @@ fn multi_gateway_backward_segments_wait_for_inherited_distance() {
             world.violations
         );
         assert!(
-            world.metrics.completion_of(flow, Version(2)).is_some(),
+            world.metrics().completion_of(flow, Version(2)).is_some(),
             "seed {seed}: update did not complete"
         );
 

@@ -1,0 +1,80 @@
+//! Metrics sinks are observation-only: swapping the full-recording sink
+//! for the streaming (or null) sink must not perturb the simulation in
+//! any way. For every scenario in the explorer registry, the base
+//! schedule is run once per sink and the runs must agree on event count,
+//! completion times, violations, and the final forwarding state of every
+//! switch.
+
+use p4update::des::SimTime;
+use p4update::explore::scenarios::{self, SCENARIOS};
+use p4update::net::{FlowId, NodeId, Version};
+use p4update::sim::{MetricsSink, NetworkSim, NullMetrics, StreamingMetrics};
+
+/// The observable outcome of one run: everything a sink swap could
+/// conceivably disturb.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    events: u64,
+    completions: Vec<(SimTime, FlowId, Version)>,
+    violations: String,
+    /// `(switch, flow) → Debug form of the UIB entry` for every flow
+    /// every switch knows.
+    tables: Vec<(NodeId, FlowId, String)>,
+}
+
+fn final_tables(world: &NetworkSim) -> Vec<(NodeId, FlowId, String)> {
+    let mut out = Vec::new();
+    for (node, switch) in world.switches.iter() {
+        for flow in switch.state.uib.flows() {
+            out.push((node, flow, format!("{:?}", switch.state.uib.read(flow))));
+        }
+    }
+    out
+}
+
+fn run_base(name: &str, sink: Option<Box<dyn MetricsSink>>) -> Outcome {
+    let mut built = scenarios::build(name, 1).expect("registered scenario");
+    if let Some(sink) = sink {
+        built.sim.world_mut().set_metrics_sink(sink);
+    }
+    let _ = built.sim.run_until(built.horizon);
+    let events = built.sim.events_delivered();
+    let world = built.sim.into_world();
+    Outcome {
+        events,
+        completions: world.sink().completions().to_vec(),
+        violations: format!("{:?}", world.violations),
+        tables: final_tables(&world),
+    }
+}
+
+#[test]
+fn streaming_sink_is_observationally_equivalent_to_full() {
+    for info in SCENARIOS {
+        let full = run_base(info.name, None);
+        let streaming = run_base(info.name, Some(Box::new(StreamingMetrics::new())));
+        assert!(full.events > 0, "{}: base run delivered nothing", info.name);
+        assert_eq!(full, streaming, "{}: streaming sink diverged", info.name);
+    }
+}
+
+#[test]
+fn null_sink_is_observationally_equivalent_except_completions() {
+    for info in SCENARIOS {
+        let full = run_base(info.name, None);
+        let null = run_base(info.name, Some(Box::new(NullMetrics)));
+        assert_eq!(full.events, null.events, "{}: event count", info.name);
+        assert_eq!(
+            full.violations, null.violations,
+            "{}: violations",
+            info.name
+        );
+        assert_eq!(full.tables, null.tables, "{}: final tables", info.name);
+        // The null sink records nothing by design.
+        assert!(
+            null.completions.is_empty(),
+            "{}: null sink recorded",
+            info.name
+        );
+    }
+}

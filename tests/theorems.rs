@@ -150,7 +150,7 @@ fn dual_after_dual_requires_single_between() {
     assert!(world.violations.is_empty(), "{:?}", world.violations);
     // The gateways rejected the second dual-layer update.
     assert!(
-        !world.metrics.alarms.is_empty(),
+        !world.metrics().alarms.is_empty(),
         "expected DualAfterDual alarms"
     );
 }
@@ -189,7 +189,10 @@ fn random_topology_migrations_stay_consistent() {
                 world.violations
             );
             assert!(
-                world.metrics.completion_of(FlowId(0), Version(2)).is_some(),
+                world
+                    .metrics()
+                    .completion_of(FlowId(0), Version(2))
+                    .is_some(),
                 "round {round} {strategy:?}: never completed"
             );
         }

@@ -82,11 +82,11 @@ fn tagged_packets_never_mix_generations() {
     assert!(sim.run().drained());
     let world = sim.into_world();
     assert!(world.violations.is_empty(), "{:?}", world.violations);
-    assert!(world.metrics.completion_of(flow, Version(2)).is_some());
+    assert!(world.metrics().completion_of(flow, Version(2)).is_some());
 
     // Per-packet traversal sets.
     let mut visited: BTreeMap<u32, BTreeSet<NodeId>> = BTreeMap::new();
-    for &(_, node, pkt) in &world.metrics.arrivals {
+    for &(_, node, pkt) in &world.metrics().arrivals {
         visited.entry(pkt.seq).or_default().insert(node);
     }
     let old_set: BTreeSet<NodeId> = old.nodes().iter().copied().collect();
@@ -114,10 +114,10 @@ fn tagged_packets_never_mix_generations() {
 
     // Every packet is delivered: no loss during the tagged migration.
     assert_eq!(
-        world.metrics.deliveries.len(),
+        world.metrics().deliveries.len(),
         200,
         "lost packets: {:?}",
-        world.metrics.drops
+        world.metrics().drops
     );
 }
 
@@ -166,7 +166,7 @@ fn untagged_packets_do_mix_generations() {
     assert!(world.violations.is_empty(), "{:?}", world.violations);
 
     let mut visited: BTreeMap<u32, BTreeSet<NodeId>> = BTreeMap::new();
-    for &(_, node, pkt) in &world.metrics.arrivals {
+    for &(_, node, pkt) in &world.metrics().arrivals {
         visited.entry(pkt.seq).or_default().insert(node);
     }
     let old_set: BTreeSet<NodeId> = old.nodes().iter().copied().collect();
