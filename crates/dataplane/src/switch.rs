@@ -48,15 +48,28 @@ impl Switch {
 
     /// A message arrived (from a neighbor switch or the controller).
     pub fn handle_message(&mut self, now: SimTime, from: Endpoint, msg: Message) -> Vec<Effect> {
-        self.state.pipeline_passes += 1;
         let mut out = Vec::new();
+        self.handle_message_into(now, from, msg, &mut out);
+        out
+    }
+
+    /// [`Self::handle_message`] writing into a caller-owned buffer — the
+    /// simulator reuses one scratch `Vec` across every event so the hot
+    /// loop never allocates.
+    pub fn handle_message_into(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        msg: Message,
+        out: &mut Vec<Effect>,
+    ) {
+        self.state.pipeline_passes += 1;
         match msg {
-            Message::Data(pkt) => self.forward_data(pkt, &mut out),
+            Message::Data(pkt) => self.forward_data(pkt, out),
             other => self
                 .logic
-                .on_control(now, &mut self.state, from, other, &mut out),
+                .on_control(now, &mut self.state, from, other, out),
         }
-        out
     }
 
     /// Messages parked in this switch's pipeline (resubmission load).
@@ -71,11 +84,22 @@ impl Switch {
 
     /// A rule installation completed.
     pub fn handle_installed(&mut self, now: SimTime, flow: FlowId, token: u64) -> Vec<Effect> {
-        self.state.pipeline_passes += 1;
         let mut out = Vec::new();
-        self.logic
-            .on_installed(now, &mut self.state, flow, token, &mut out);
+        self.handle_installed_into(now, flow, token, &mut out);
         out
+    }
+
+    /// [`Self::handle_installed`] writing into a caller-owned buffer.
+    pub fn handle_installed_into(
+        &mut self,
+        now: SimTime,
+        flow: FlowId,
+        token: u64,
+        out: &mut Vec<Effect>,
+    ) {
+        self.state.pipeline_passes += 1;
+        self.logic
+            .on_installed(now, &mut self.state, flow, token, out);
     }
 
     /// A data packet enters the network at this switch (host-facing port).
@@ -84,12 +108,24 @@ impl Switch {
     /// packet itself blackholes until rules exist.
     pub fn inject_packet(
         &mut self,
+        now: SimTime,
+        pkt: DataPacket,
+        egress_hint: NodeId,
+    ) -> Vec<Effect> {
+        let mut out = Vec::new();
+        self.inject_packet_into(now, pkt, egress_hint, &mut out);
+        out
+    }
+
+    /// [`Self::inject_packet`] writing into a caller-owned buffer.
+    pub fn inject_packet_into(
+        &mut self,
         _now: SimTime,
         mut pkt: DataPacket,
         egress_hint: NodeId,
-    ) -> Vec<Effect> {
+        out: &mut Vec<Effect>,
+    ) {
         self.state.pipeline_passes += 1;
-        let mut out = Vec::new();
         let entry = self.state.uib.read(pkt.flow);
         if self.stamp_tags && pkt.tag.is_none() && entry.has_active_rule() {
             // Two-phase commit: stamp with the ingress's applied version;
@@ -106,8 +142,7 @@ impl Switch {
                 }),
             });
         }
-        self.forward_data(pkt, &mut out);
-        out
+        self.forward_data(pkt, out);
     }
 
     /// Forward a data packet: deliver at egress, drop on missing rule

@@ -12,9 +12,8 @@
 //! thereby steer the run through a different interleaving.
 
 use crate::choice::{ChoiceKind, Chooser, FifoChooser};
+use crate::queue::{QueueBackend, QueueImpl};
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A world that reacts to events of type `E`.
 ///
@@ -28,37 +27,16 @@ pub trait World {
     fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (then
-        // lowest-sequence) event pops first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// The event queue handed to [`World::handle`]; schedules future events.
+///
+/// Event storage is a pluggable [`crate::EventQueue`] backend selected via
+/// [`QueueBackend`] (calendar queue by default, binary heap on request);
+/// both realize the identical `(time, seq)` delivery order. Pending/peak
+/// counters are tracked here, independent of the backend, so observability
+/// (e.g. [`Simulation::peak_queue_depth`]) is backend-invariant by
+/// construction.
 pub struct Scheduler<E> {
-    queue: BinaryHeap<Scheduled<E>>,
+    queue: QueueImpl<E>,
     next_seq: u64,
     now: SimTime,
     chooser: Box<dyn Chooser>,
@@ -75,10 +53,16 @@ impl<E> Default for Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    /// An empty scheduler at t = 0 with the default FIFO tie-break policy.
+    /// An empty scheduler at t = 0 with the default FIFO tie-break policy
+    /// and the default (calendar) queue backend.
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::default())
+    }
+
+    /// An empty scheduler using the given queue backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
         Scheduler {
-            queue: BinaryHeap::new(),
+            queue: QueueImpl::new(backend),
             next_seq: 0,
             now: SimTime::ZERO,
             chooser: Box::new(FifoChooser),
@@ -87,8 +71,27 @@ impl<E> Scheduler<E> {
         }
     }
 
-    /// Reserve heap capacity up front so steady-state runs never reallocate
-    /// mid-simulation.
+    /// The queue backend in use.
+    pub fn backend(&self) -> QueueBackend {
+        self.queue.backend()
+    }
+
+    /// Switch the queue backend, migrating any pending events (their
+    /// `(time, seq)` keys — and therefore delivery order — are preserved).
+    pub fn set_backend(&mut self, backend: QueueBackend) {
+        if self.queue.backend() == backend {
+            return;
+        }
+        let mut next = QueueImpl::new(backend);
+        next.reserve(self.queue.len());
+        while let Some((at, seq, event)) = self.queue.pop() {
+            next.push(at, seq, event);
+        }
+        self.queue = next;
+    }
+
+    /// Reserve queue capacity up front so steady-state runs never reallocate
+    /// mid-simulation. The hint reaches whichever backend is installed.
     pub fn reserve(&mut self, capacity: usize) {
         self.queue.reserve(capacity);
     }
@@ -133,7 +136,7 @@ impl<E> Scheduler<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Scheduled { at, seq, event });
+        self.queue.push(at, seq, event);
         if self.queue.len() > self.peak_pending {
             self.peak_pending = self.queue.len();
         }
@@ -157,16 +160,16 @@ impl<E> Scheduler<E> {
     /// gathered in FIFO order and presented as a [`ChoiceKind::TieBreak`]
     /// choice point; the unchosen ones go back on the queue (their original
     /// sequence numbers keep the relative FIFO order stable).
-    fn pop(&mut self) -> Option<Scheduled<E>> {
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
         if self.trivial {
             return self.queue.pop();
         }
         let first = self.queue.pop()?;
-        let at = first.at;
-        // The heap pops same-time events in increasing sequence order, so
+        let at = first.0;
+        // The queue pops same-time events in increasing sequence order, so
         // `tied` is in FIFO order and index 0 is the historical pick.
         let mut tied = vec![first];
-        while self.queue.peek().is_some_and(|s| s.at == at) {
+        while self.queue.peek_key().is_some_and(|(t, _)| t == at) {
             tied.push(self.queue.pop().expect("peeked event exists"));
         }
         let pick = if tied.len() == 1 {
@@ -181,8 +184,8 @@ impl<E> Scheduler<E> {
             pick
         };
         let chosen = tied.remove(pick);
-        for other in tied {
-            self.queue.push(other);
+        for (t, seq, event) in tied {
+            self.queue.push(t, seq, event);
         }
         Some(chosen)
     }
@@ -254,6 +257,19 @@ impl<W: World> Simulation<W> {
         self
     }
 
+    /// Select the event-queue backend (see [`Scheduler::set_backend`]).
+    /// Pending events migrate, so this may be called after seeding the
+    /// queue; delivery order is identical for every backend.
+    pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.sched.set_backend(backend);
+        self
+    }
+
+    /// The event-queue backend in use.
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.sched.backend()
+    }
+
     /// Replace the choice-point policy (see [`Scheduler::set_chooser`]).
     pub fn with_chooser(mut self, chooser: Box<dyn Chooser>) -> Self {
         self.sched.set_chooser(chooser);
@@ -310,35 +326,34 @@ impl<W: World> Simulation<W> {
                     budget: self.event_budget,
                 };
             }
-            let Some(next) = self.sched.pop() else {
+            let Some((at, seq, event)) = self.sched.pop() else {
                 return RunOutcome::QueueDrained {
                     finished_at: self.sched.now(),
                     events: self.events_delivered,
                 };
             };
-            if next.at > horizon {
-                // Push back: a later `run_until` with a larger horizon must
-                // still see this event.
-                self.sched.queue.push(next);
+            if at > horizon {
+                // Push back (original key intact): a later `run_until` with
+                // a larger horizon must still see this event, in order.
+                self.sched.queue.push(at, seq, event);
                 return RunOutcome::HorizonReached {
                     horizon,
                     events: self.events_delivered,
                 };
             }
-            self.sched.now = next.at;
+            self.sched.now = at;
             self.events_delivered += 1;
-            self.world.handle(next.at, next.event, &mut self.sched);
+            self.world.handle(at, event, &mut self.sched);
         }
     }
 
     /// Deliver exactly one event, if any is pending. Returns its timestamp.
     /// Useful for lock-step tests that interleave assertions with events.
     pub fn step(&mut self) -> Option<SimTime> {
-        let next = self.sched.pop()?;
-        self.sched.now = next.at;
+        let (at, _seq, event) = self.sched.pop()?;
+        self.sched.now = at;
         self.events_delivered += 1;
-        let at = next.at;
-        self.world.handle(at, next.event, &mut self.sched);
+        self.world.handle(at, event, &mut self.sched);
         Some(at)
     }
 }
@@ -577,6 +592,57 @@ mod tests {
         assert!(sim.run().drained());
         let order: Vec<u32> = sim.world().seen.iter().map(|&(_, e)| e).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    /// Both queue backends drive the identical delivery order, through the
+    /// trivial FIFO path and the tie-gathering chooser path alike.
+    #[test]
+    fn queue_backends_deliver_identically() {
+        let run = |backend: QueueBackend,
+                   chooser: Option<Box<dyn Chooser>>|
+         -> Vec<(SimTime, u32)> {
+            let mut sim = Simulation::new(Recorder { seen: vec![] }).with_queue_backend(backend);
+            if let Some(c) = chooser {
+                sim = sim.with_chooser(c);
+            }
+            for i in 0..40 {
+                sim.schedule_at(ms(u64::from(i % 7)), i);
+                sim.schedule_at(ms(5_000 + u64::from(i)), 1000 + i);
+            }
+            assert!(sim.run().drained());
+            sim.world().seen.clone()
+        };
+        assert_eq!(
+            run(QueueBackend::Heap, None),
+            run(QueueBackend::Calendar, None)
+        );
+        assert_eq!(
+            run(QueueBackend::Heap, Some(Box::new(Lifo))),
+            run(QueueBackend::Calendar, Some(Box::new(Lifo)))
+        );
+    }
+
+    /// Switching backends mid-configuration migrates pending events with
+    /// their keys, so delivery order (incl. FIFO ties) is unchanged.
+    #[test]
+    fn backend_swap_migrates_pending_events() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        assert_eq!(sim.queue_backend(), QueueBackend::Calendar);
+        for i in 0..20 {
+            sim.schedule_at(ms(7), i);
+            sim.schedule_at(ms(3 + u64::from(i)), 100 + i);
+        }
+        sim = sim.with_queue_backend(QueueBackend::Heap);
+        assert_eq!(sim.queue_backend(), QueueBackend::Heap);
+        assert_eq!(sim.peak_queue_depth(), 40);
+        assert!(sim.run().drained());
+        let mut expected = Simulation::new(Recorder { seen: vec![] });
+        for i in 0..20 {
+            expected.schedule_at(ms(7), i);
+            expected.schedule_at(ms(3 + u64::from(i)), 100 + i);
+        }
+        assert!(expected.run().drained());
+        assert_eq!(sim.world().seen, expected.world().seen);
     }
 
     #[test]

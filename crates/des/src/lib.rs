@@ -17,6 +17,9 @@
 //! - [`World`] / [`Simulation`] / [`Scheduler`]: the event loop. Ties are
 //!   broken FIFO by default, so same-instant events are delivered in
 //!   scheduling order.
+//! - [`EventQueue`] / [`QueueBackend`]: pluggable event storage — a
+//!   calendar queue (O(1) amortized, the default) and the original binary
+//!   heap, extracting the identical `(time, seq)` total order.
 //! - [`Chooser`] / [`ChoiceKind`]: the choice-point seam. Tie-breaks (and
 //!   world-defined decisions like per-message faults) route through a
 //!   pluggable policy, which is how the `p4update-explore` crate drives
@@ -34,12 +37,14 @@
 mod choice;
 mod engine;
 pub mod propcheck;
+mod queue;
 mod rng;
 mod stats;
 mod time;
 
 pub use choice::{ChoiceKind, Chooser, FifoChooser};
 pub use engine::{RunOutcome, Scheduler, Simulation, World};
+pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend};
 pub use rng::SimRng;
 pub use stats::{Reservoir, Samples};
 pub use time::{SimDuration, SimTime};

@@ -2,7 +2,6 @@
 //! propagation latency and per-direction capacity.
 
 use p4update_des::SimDuration;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a switch / node. Dense, assigned in insertion order.
@@ -94,8 +93,6 @@ pub struct Topology {
     links: Vec<Link>,
     /// adjacency[v] = sorted list of (neighbor, link id)
     adjacency: Vec<Vec<(NodeId, LinkId)>>,
-    /// (min NodeId, max NodeId) -> LinkId for O(log) link lookup
-    link_by_pair: BTreeMap<(NodeId, NodeId), LinkId>,
 }
 
 impl Topology {
@@ -142,10 +139,15 @@ impl Topology {
         &self.adjacency[v.index()]
     }
 
-    /// The link between `a` and `b`, if they are adjacent.
+    /// The link between `a` and `b`, if they are adjacent. Binary search
+    /// over `a`'s sorted neighbor list — a couple of cache lines even on
+    /// the largest fat-trees, where this sits on the per-packet hot path
+    /// (`transit` resolves every switch-to-switch hop through it).
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
-        let key = if a <= b { (a, b) } else { (b, a) };
-        self.link_by_pair.get(&key).copied()
+        let adj = self.adjacency.get(a.index())?;
+        adj.binary_search_by_key(&b, |&(n, _)| n)
+            .ok()
+            .map(|i| adj[i].1)
     }
 
     /// One-way latency between two *adjacent* nodes.
@@ -295,12 +297,10 @@ impl TopologyBuilder {
     /// Finalize into an immutable [`Topology`].
     pub fn build(self) -> Topology {
         let mut adjacency = vec![Vec::new(); self.nodes.len()];
-        let mut link_by_pair = BTreeMap::new();
         for (i, link) in self.links.iter().enumerate() {
             let id = LinkId(i as u32);
             adjacency[link.a.index()].push((link.b, id));
             adjacency[link.b.index()].push((link.a, id));
-            link_by_pair.insert((link.a, link.b), id);
         }
         for adj in &mut adjacency {
             adj.sort_unstable_by_key(|&(n, _)| n);
@@ -310,7 +310,6 @@ impl TopologyBuilder {
             nodes: self.nodes,
             links: self.links,
             adjacency,
-            link_by_pair,
         }
     }
 }

@@ -272,6 +272,12 @@ pub fn synthetic_fat_tree_512() -> Topology {
     synthetic_fat_tree(32, 8, 30)
 }
 
+/// 4096-switch synthetic fat-tree (64 cores, 126 pods × 16 agg + 16 edge)
+/// — the beyond-ft512 scale the parallel perf harness measures.
+pub fn synthetic_fat_tree_4096() -> Topology {
+    synthetic_fat_tree(64, 126, 16)
+}
+
 /// Edge switches of a fat-tree built by [`fat_tree`] — the ingress/egress
 /// candidates for DC flows.
 pub fn fat_tree_edge_switches(topo: &Topology) -> Vec<NodeId> {
@@ -681,6 +687,11 @@ mod tests {
                 assert_eq!(core_neighbors, 2, "agg {v} uplinks");
             }
         }
+
+        let t4096 = synthetic_fat_tree_4096();
+        assert_eq!(t4096.node_count(), 4096); // 64 + 126 × (16 + 16)
+        assert!(t4096.is_connected());
+        assert_eq!(fat_tree_edge_switches(&t4096).len(), 126 * 16);
     }
 
     #[test]

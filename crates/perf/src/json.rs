@@ -300,6 +300,237 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Benchmark-artifact schema (v2) and validation.
+
+/// Schema tag of the emitted artifact; bump on layout changes. `v2` added
+/// the mandatory top-level `thread_scaling` section, the per-system
+/// `stranded_flows` counter, and the ft4096 scale.
+pub const SCHEMA: &str = "p4update-bench-v2";
+
+/// The systems every scale must report, in artifact order.
+pub const EXPECTED_SYSTEMS: [&str; 4] = ["p4update-sl", "p4update-dl", "ez-segway", "central"];
+
+/// Validate a benchmark artifact: schema tag (v1 artifacts — which lack
+/// `thread_scaling` — are rejected), at least `min_scales` scales with no
+/// duplicate scale entries, exactly the four expected systems per scale
+/// with no duplicates, a well-formed `thread_scaling` section, and finite,
+/// plausible numbers throughout. This is what the gate script runs against
+/// both the smoke output and the committed baseline.
+pub fn validate_report(doc: &Json, min_scales: usize) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some("p4update-bench-v1") => {
+            return Err(format!(
+                "schema p4update-bench-v1 is obsolete (no thread_scaling section); \
+                 regenerate the artifact as {SCHEMA}"
+            ));
+        }
+        other => return Err(format!("schema tag must be {SCHEMA:?}, got {other:?}")),
+    }
+    doc.get("load_factor")
+        .and_then(Json::as_f64)
+        .filter(|l| (0.0..=1.0).contains(l))
+        .ok_or("load_factor must be in [0, 1]")?;
+    validate_thread_scaling(doc.get("thread_scaling").ok_or(
+        "missing thread_scaling section (required by p4update-bench-v2; \
+         v1 artifacts must be regenerated)",
+    )?)?;
+    let scales = doc
+        .get("scales")
+        .and_then(Json::as_arr)
+        .ok_or("missing scales array")?;
+    if scales.len() < min_scales {
+        return Err(format!(
+            "need at least {min_scales} scales, found {}",
+            scales.len()
+        ));
+    }
+    let mut seen_scales: Vec<&str> = Vec::new();
+    for scale in scales {
+        let name = scale
+            .get("scale")
+            .and_then(Json::as_str)
+            .ok_or("scale missing name")?;
+        if seen_scales.contains(&name) {
+            return Err(format!("duplicate scale entry {name:?}"));
+        }
+        seen_scales.push(name);
+        for key in ["nodes", "links", "flows"] {
+            scale
+                .get(key)
+                .and_then(Json::as_f64)
+                .filter(|&v| v.is_finite() && v > 0.0)
+                .ok_or_else(|| format!("{name}: {key} must be a positive number"))?;
+        }
+        let systems = scale
+            .get("systems")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{name}: missing systems array"))?;
+        let labels: Vec<&str> = systems
+            .iter()
+            .filter_map(|s| s.get("system").and_then(Json::as_str))
+            .collect();
+        for (i, label) in labels.iter().enumerate() {
+            if labels[..i].contains(label) {
+                return Err(format!("{name}: duplicate system entry {label:?}"));
+            }
+        }
+        if labels != EXPECTED_SYSTEMS {
+            return Err(format!(
+                "{name}: systems must be {EXPECTED_SYSTEMS:?}, got {labels:?}"
+            ));
+        }
+        for sys in systems {
+            let label = sys.get("system").and_then(Json::as_str).unwrap_or("?");
+            for key in [
+                "runs",
+                "events",
+                "events_per_sec",
+                "peak_queue_depth",
+                "fct_p50_ms",
+                "fct_p99_ms",
+            ] {
+                sys.get(key)
+                    .and_then(Json::as_f64)
+                    .filter(|&v| v.is_finite() && v > 0.0)
+                    .ok_or_else(|| format!("{name}/{label}: {key} must be a positive number"))?;
+            }
+            // Stranded flows: non-negative, and consistent with the
+            // completion rate (stranded > 0 ⇔ rate < 1 for these runs).
+            sys.get("stranded_flows")
+                .and_then(Json::as_f64)
+                .filter(|&v| v.is_finite() && v >= 0.0)
+                .ok_or_else(|| format!("{name}/{label}: stranded_flows must be present and ≥ 0"))?;
+            let (p50, p99) = (
+                sys.get("fct_p50_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                sys.get("fct_p99_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            );
+            if p99 < p50 {
+                return Err(format!("{name}/{label}: p99 < p50"));
+            }
+            // ez-Segway can strand individual flows under contention (it
+            // retries forever); everything else must finish everything. A
+            // rate below 0.95 means the run itself is broken.
+            let rate = sys
+                .get("completion_rate")
+                .and_then(Json::as_f64)
+                .filter(|r| (0.0..=1.0).contains(r))
+                .ok_or_else(|| format!("{name}/{label}: completion_rate must be in [0, 1]"))?;
+            if rate < 0.95 {
+                return Err(format!("{name}/{label}: completion_rate {rate} below 0.95"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_thread_scaling(ts: &Json) -> Result<(), String> {
+    ts.get("scale")
+        .and_then(Json::as_str)
+        .ok_or("thread_scaling: missing scale")?;
+    ts.get("system")
+        .and_then(Json::as_str)
+        .ok_or("thread_scaling: missing system")?;
+    for key in ["runs", "parallelism_available"] {
+        ts.get(key)
+            .and_then(Json::as_f64)
+            .filter(|&v| v.is_finite() && v >= 1.0)
+            .ok_or_else(|| format!("thread_scaling: {key} must be ≥ 1"))?;
+    }
+    let points = ts
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("thread_scaling: missing points array")?;
+    if points.is_empty() {
+        return Err("thread_scaling: points must be non-empty".into());
+    }
+    let mut last_threads = 0.0;
+    for p in points {
+        let threads = p
+            .get("threads")
+            .and_then(Json::as_f64)
+            .filter(|&v| v.is_finite() && v >= 1.0)
+            .ok_or("thread_scaling: point missing threads")?;
+        if threads <= last_threads {
+            return Err("thread_scaling: points must have increasing thread counts".into());
+        }
+        last_threads = threads;
+        for key in ["wall_secs", "speedup"] {
+            p.get(key)
+                .and_then(Json::as_f64)
+                .filter(|&v| v.is_finite() && v > 0.0)
+                .ok_or_else(|| format!("thread_scaling: point {key} must be positive"))?;
+        }
+    }
+    Ok(())
+}
+
+/// A copy of the artifact with every wall-clock-derived field removed:
+/// per-system `wall_secs` and `events_per_sec`, and the whole
+/// `thread_scaling` section. What remains — event counts, queue depths,
+/// completion percentiles, stranding — is a pure function of (workload,
+/// seed), so two runs of the same build must emit byte-identical stripped
+/// artifacts *regardless of thread count*; the gate script enforces
+/// exactly that for `--threads 1` vs `--threads 4`.
+pub fn strip_timing(doc: &Json) -> Json {
+    fn strip_system(sys: &Json) -> Json {
+        match sys {
+            Json::Obj(members) => Json::Obj(
+                members
+                    .iter()
+                    .filter(|(k, _)| k != "wall_secs" && k != "events_per_sec")
+                    .cloned()
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+    fn strip_scale(scale: &Json) -> Json {
+        match scale {
+            Json::Obj(members) => Json::Obj(
+                members
+                    .iter()
+                    .map(|(k, v)| {
+                        let v = if k == "systems" {
+                            match v {
+                                Json::Arr(items) => {
+                                    Json::Arr(items.iter().map(strip_system).collect())
+                                }
+                                other => other.clone(),
+                            }
+                        } else {
+                            v.clone()
+                        };
+                        (k.clone(), v)
+                    })
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+    match doc {
+        Json::Obj(members) => Json::Obj(
+            members
+                .iter()
+                .filter(|(k, _)| k != "thread_scaling")
+                .map(|(k, v)| {
+                    let v = if k == "scales" {
+                        match v {
+                            Json::Arr(items) => Json::Arr(items.iter().map(strip_scale).collect()),
+                            other => other.clone(),
+                        }
+                    } else {
+                        v.clone()
+                    };
+                    (k.clone(), v)
+                })
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,8 +1,8 @@
 //! # p4update-perf
 //!
 //! Dependency-free performance harness. Drives gravity-model multi-flow
-//! updates over three topology scales (Fig.-1-size, 64-switch and
-//! 512-switch synthetic fat-trees) for each system under test —
+//! updates over four topology scales (Fig.-1-size, 64-, 512- and
+//! 4096-switch synthetic fat-trees) for each system under test —
 //! single-label and dual-label P4Update, ez-Segway, and the central
 //! two-phase baseline — with streaming metrics sinks so memory stays
 //! O(1) in packet count, and emits the `BENCH_p4update.json` baseline
@@ -18,6 +18,6 @@ pub mod json;
 pub mod runner;
 pub mod workload;
 
-pub use json::Json;
-pub use runner::{run_bench, run_scale, scales, systems, validate_report, LOAD_FACTOR, SCHEMA};
+pub use json::{strip_timing, validate_report, Json, EXPECTED_SYSTEMS, SCHEMA};
+pub use runner::{run_bench, run_scale, scales, systems, LOAD_FACTOR};
 pub use workload::bench_workload;

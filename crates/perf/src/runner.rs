@@ -1,36 +1,44 @@
-//! The scale runner: drives multi-flow updates over three topology
+//! The scale runner: drives multi-flow updates over four topology
 //! scales for every system under test and aggregates the measurements
 //! the `BENCH_p4update.json` baseline records.
+//!
+//! Runs are independent simulations, so the runner shards the
+//! (system × seed) grid across a `std::thread::scope` pool. Each run is
+//! a pure function of (workload, seed); results are merged in job-index
+//! order, so everything except wall-clock-derived fields is byte
+//! identical for any `--threads` value (see [`crate::json::strip_timing`]).
 
-use crate::json::Json;
+use crate::json::{Json, EXPECTED_SYSTEMS, SCHEMA};
 use crate::workload::bench_workload;
 use p4update_core::Strategy;
 use p4update_des::{Samples, SimDuration, SimTime};
 use p4update_net::{topologies, FlowId, Topology};
 use p4update_sim::{
-    simulation, Event, NetworkSim, SimConfig, StreamingMetrics, System, TimingConfig,
+    simulation, Event, NetworkSim, PathTables, SimConfig, StreamingMetrics, System, TimingConfig,
 };
-
-/// Schema tag of the emitted artifact; bump on layout changes.
-pub const SCHEMA: &str = "p4update-bench-v1";
+use p4update_traffic::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The gravity-model load factor all perf runs use (§9.1's near-capacity
 /// multi-flow setting).
 pub const LOAD_FACTOR: f64 = 0.55;
 
-/// The four systems every scale measures, with their artifact labels.
+/// The four systems every scale measures, labeled per
+/// [`EXPECTED_SYSTEMS`] so the emitted artifact and the validator can
+/// never drift apart.
 pub fn systems() -> [(&'static str, System); 4] {
     [
-        ("p4update-sl", System::P4Update(Strategy::ForceSingle)),
-        ("p4update-dl", System::P4Update(Strategy::ForceDual)),
-        ("ez-segway", System::EzSegway { congestion: true }),
-        ("central", System::Central { congestion: true }),
+        (EXPECTED_SYSTEMS[0], System::P4Update(Strategy::ForceSingle)),
+        (EXPECTED_SYSTEMS[1], System::P4Update(Strategy::ForceDual)),
+        (EXPECTED_SYSTEMS[2], System::EzSegway { congestion: true }),
+        (EXPECTED_SYSTEMS[3], System::Central { congestion: true }),
     ]
 }
 
 /// One topology scale of the benchmark.
 pub struct Scale {
-    /// Artifact label ("fig1", "ft64", "ft512").
+    /// Artifact label ("fig1", "ft64", "ft512", "ft4096").
     pub name: &'static str,
     /// Topology constructor.
     pub build: fn() -> Topology,
@@ -50,8 +58,8 @@ fn dc_timing(_topo: &Topology) -> TimingConfig {
     TimingConfig::fat_tree()
 }
 
-/// The benchmark's three scales: Fig.-1-size, 64-switch, and 512-switch.
-pub fn scales() -> [Scale; 3] {
+/// The benchmark's four scales: Fig.-1-size, 64-, 512- and 4096-switch.
+pub fn scales() -> [Scale; 4] {
     [
         Scale {
             name: "fig1",
@@ -71,7 +79,17 @@ pub fn scales() -> [Scale; 3] {
             name: "ft512",
             build: topologies::synthetic_fat_tree_512,
             timing: dc_timing,
-            full_runs: 2,
+            // Enough seeds that steady-state throughput dominates the
+            // cold first run — a single ft512 run is ~10 ms of event
+            // loop, which is timer-noise territory.
+            full_runs: 8,
+            smoke_runs: 0,
+        },
+        Scale {
+            name: "ft4096",
+            build: topologies::synthetic_fat_tree_4096,
+            timing: dc_timing,
+            full_runs: 1,
             smoke_runs: 0,
         },
     ]
@@ -98,6 +116,9 @@ pub struct SystemResult {
     pub completed_flows: u64,
     /// Flows attempted across all runs (`flows × runs`).
     pub total_flows: u64,
+    /// Flows stranded without completing across all runs (ez-Segway's
+    /// circular capacity waits; zero for every other system).
+    pub stranded_flows: u64,
 }
 
 /// Measurements of one topology scale.
@@ -114,25 +135,77 @@ pub struct ScaleResult {
     pub systems: Vec<SystemResult>,
 }
 
-/// Run one (topology, system) cell for one seed. Returns
-/// `(events, peak_queue_depth, per-flow completion times in ms, wall
-/// time)`. A flow missing from the completion-time list failed to finish
-/// inside the horizon (ez-Segway can strand flows under contention).
-/// Workload construction happens outside the timed section; the returned
-/// `Duration` covers only the event loop.
+/// What one (topology, system, seed) run measured.
+struct RunMeasure {
+    events: u64,
+    peak: usize,
+    fct_ms: Vec<f64>,
+    stranded: u64,
+    wall: std::time::Duration,
+}
+
+/// Deterministic fork-join map: evaluate `f(0..jobs)` on up to `threads`
+/// workers and return the results in input order. Workers pull job
+/// indices from a shared atomic counter (so stragglers don't idle a
+/// lane) and stash `(index, result)` pairs locally; the merge sorts by
+/// index, so the output is identical for any thread count — the whole
+/// determinism argument for the parallel runner rests on each `f(i)`
+/// being a pure function of `i`.
+pub(crate) fn parallel_map<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, jobs.max(1));
+    if threads == 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(jobs);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            indexed.extend(h.join().expect("perf worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Run one (topology, system) cell for one seed. A flow missing from the
+/// completion-time list failed to finish inside the horizon (ez-Segway
+/// can strand flows under contention); such flows are recorded as
+/// stranded. Workload and path-table construction happen outside the
+/// timed section; `wall` covers only the event loop.
 fn run_once(
     topo: &Topology,
+    tables: &Arc<PathTables>,
+    workload: &Workload,
     timing: TimingConfig,
     system: System,
     seed: u64,
-) -> (u64, usize, Vec<f64>, std::time::Duration) {
-    let workload = bench_workload(topo, seed);
+) -> RunMeasure {
     let config = SimConfig::new(timing, seed).with_analysis_gate(false);
-    let mut world = NetworkSim::new(
+    let mut world = NetworkSim::with_path_tables(
         topo.clone(),
         system,
         config,
         Some(workload.free_capacity.clone()),
+        Arc::clone(tables),
     )
     .with_metrics_sink(Box::new(StreamingMetrics::new()));
     for u in &workload.updates {
@@ -148,9 +221,10 @@ fn run_once(
     let wall = start.elapsed();
     let events = sim.events_delivered();
     let peak = sim.peak_queue_depth();
-    let world = sim.into_world();
+    let mut world = sim.into_world();
+    let stranded = world.record_stranded_flows().len() as u64;
     let flows: Vec<FlowId> = workload.updates.iter().map(|u| u.flow).collect();
-    let mut fct = Vec::with_capacity(flows.len());
+    let mut fct_ms = Vec::with_capacity(flows.len());
     for &f in &flows {
         let t = world
             .sink()
@@ -160,29 +234,58 @@ fn run_once(
             .map(|&(t, _, _)| t)
             .max();
         if let Some(t) = t {
-            fct.push(t.as_millis_f64());
+            fct_ms.push(t.as_millis_f64());
         }
     }
-    (events, peak, fct, wall)
+    RunMeasure {
+        events,
+        peak,
+        fct_ms,
+        stranded,
+        wall,
+    }
 }
 
-/// Run one scale for every system.
-pub fn run_scale(scale: &Scale, runs: u64) -> ScaleResult {
+/// Run one scale for every system, sharding the (system × seed) grid
+/// over `threads` workers. Path tables are computed once per topology
+/// and workloads once per seed (both system-independent), then shared
+/// read-only across the pool.
+pub fn run_scale(scale: &Scale, runs: u64, threads: usize) -> ScaleResult {
     let topo = (scale.build)();
     let timing = (scale.timing)(&topo);
+    let tables = Arc::new(PathTables::compute(&topo));
     let flows = topo.node_count();
+    // One workload per seed, shared by all four systems (the gravity
+    // model depends only on topology and seed). Generation itself is
+    // deterministic per index, so it parallelizes like the runs do.
+    let workloads: Vec<Workload> = parallel_map(runs as usize, threads, |i| {
+        bench_workload(&topo, 1 + i as u64)
+    });
+    let grid = systems();
+    let measures = parallel_map(grid.len() * runs as usize, threads, |job| {
+        let (sys_idx, seed_idx) = (job / runs as usize, job % runs as usize);
+        run_once(
+            &topo,
+            &tables,
+            &workloads[seed_idx],
+            timing,
+            grid[sys_idx].1,
+            1 + seed_idx as u64,
+        )
+    });
     let mut results = Vec::new();
-    for (label, system) in systems() {
+    for (sys_idx, &(label, _)) in grid.iter().enumerate() {
         let mut events = 0u64;
         let mut wall = std::time::Duration::ZERO;
         let mut peak = 0usize;
+        let mut stranded = 0u64;
         let mut fct = Samples::new();
-        for seed in 0..runs {
-            let (e, p, times, w) = run_once(&topo, timing, system, 1 + seed);
-            events += e;
-            wall += w;
-            peak = peak.max(p);
-            for t in times {
+        for m in &measures[sys_idx * runs as usize..(sys_idx + 1) * runs as usize] {
+            events += m.events;
+            wall += m.wall;
+            peak = peak.max(m.peak);
+            stranded += m.stranded;
+            for &t in &m.fct_ms {
                 fct.push(t);
             }
         }
@@ -197,6 +300,7 @@ pub fn run_scale(scale: &Scale, runs: u64) -> ScaleResult {
             fct_p99_ms: ps[1],
             completed_flows: fct.len() as u64,
             total_flows: flows as u64 * runs,
+            stranded_flows: stranded,
         });
     }
     ScaleResult {
@@ -208,10 +312,66 @@ pub fn run_scale(scale: &Scale, runs: u64) -> ScaleResult {
     }
 }
 
-/// Run the whole benchmark. `smoke` restricts to the small scales and
-/// seed counts (< 10 s wall) for CI; the full run regenerates the
-/// committed baseline.
-pub fn run_bench(smoke: bool) -> Json {
+/// Measure run-level thread scaling: the same (scale, system, seeds)
+/// cell timed end to end at 1, 2 and 4 workers. Wall times are
+/// inherently machine-dependent (and meaningless on a single-core box —
+/// `parallelism_available` records what the machine offered), which is
+/// why [`crate::json::strip_timing`] drops this whole section from the
+/// canonical artifact.
+fn thread_scaling_probe(smoke: bool) -> Json {
+    let all = scales();
+    // ft64 for the baseline, fig1 for CI smoke — big enough to amortize
+    // thread spawn, small enough to run three times over.
+    let scale = if smoke { &all[0] } else { &all[1] };
+    let runs = 4u64;
+    let system = systems()[0];
+    let topo = (scale.build)();
+    let timing = (scale.timing)(&topo);
+    let tables = Arc::new(PathTables::compute(&topo));
+    let workloads: Vec<Workload> = (0..runs).map(|i| bench_workload(&topo, 1 + i)).collect();
+    let mut points = Vec::new();
+    let mut base_secs = 0.0;
+    for threads in [1usize, 2, 4] {
+        let start = std::time::Instant::now();
+        let _ = parallel_map(runs as usize, threads, |i| {
+            run_once(
+                &topo,
+                &tables,
+                &workloads[i],
+                timing,
+                system.1,
+                1 + i as u64,
+            )
+        });
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        if threads == 1 {
+            base_secs = secs;
+        }
+        points.push(Json::Obj(vec![
+            ("threads".into(), Json::Num(threads as f64)),
+            ("wall_secs".into(), Json::Num(secs)),
+            ("speedup".into(), Json::Num(base_secs / secs)),
+        ]));
+    }
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1);
+    Json::Obj(vec![
+        ("scale".into(), Json::Str(scale.name.into())),
+        ("system".into(), Json::Str(system.0.into())),
+        ("runs".into(), Json::Num(runs as f64)),
+        (
+            "parallelism_available".into(),
+            Json::Num(parallelism as f64),
+        ),
+        ("points".into(), Json::Arr(points)),
+    ])
+}
+
+/// Run the whole benchmark on `threads` workers. `smoke` restricts to
+/// the small scales and seed counts (< 10 s wall) for CI; the full run
+/// regenerates the committed baseline.
+pub fn run_bench(smoke: bool, threads: usize) -> Json {
     let mut scale_values = Vec::new();
     for scale in &scales() {
         let runs = if smoke {
@@ -222,13 +382,15 @@ pub fn run_bench(smoke: bool) -> Json {
         if runs == 0 {
             continue;
         }
-        let result = run_scale(scale, runs);
+        let result = run_scale(scale, runs, threads);
         scale_values.push(scale_to_json(&result));
     }
+    let scaling = thread_scaling_probe(smoke);
     Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
         ("load_factor".into(), Json::Num(LOAD_FACTOR)),
         ("smoke".into(), Json::Bool(smoke)),
+        ("thread_scaling".into(), scaling),
         ("scales".into(), Json::Arr(scale_values)),
     ])
 }
@@ -259,6 +421,7 @@ fn scale_to_json(r: &ScaleResult) -> Json {
                     "completion_rate".into(),
                     Json::Num(s.completed_flows as f64 / s.total_flows.max(1) as f64),
                 ),
+                ("stranded_flows".into(), Json::Num(s.stranded_flows as f64)),
             ])
         })
         .collect();
@@ -271,102 +434,17 @@ fn scale_to_json(r: &ScaleResult) -> Json {
     ])
 }
 
-/// Validate a benchmark artifact: schema tag, at least `min_scales`
-/// scales, exactly the four expected systems per scale, and finite,
-/// plausible numbers throughout. This is what the gate script runs
-/// against both the smoke output and the committed baseline.
-pub fn validate_report(doc: &Json, min_scales: usize) -> Result<(), String> {
-    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
-        return Err(format!("schema tag must be {SCHEMA:?}"));
-    }
-    doc.get("load_factor")
-        .and_then(Json::as_f64)
-        .filter(|l| (0.0..=1.0).contains(l))
-        .ok_or("load_factor must be in [0, 1]")?;
-    let scales = doc
-        .get("scales")
-        .and_then(Json::as_arr)
-        .ok_or("missing scales array")?;
-    if scales.len() < min_scales {
-        return Err(format!(
-            "need at least {min_scales} scales, found {}",
-            scales.len()
-        ));
-    }
-    let expected: Vec<&str> = systems().iter().map(|&(label, _)| label).collect();
-    for scale in scales {
-        let name = scale
-            .get("scale")
-            .and_then(Json::as_str)
-            .ok_or("scale missing name")?;
-        for key in ["nodes", "links", "flows"] {
-            scale
-                .get(key)
-                .and_then(Json::as_f64)
-                .filter(|&v| v.is_finite() && v > 0.0)
-                .ok_or_else(|| format!("{name}: {key} must be a positive number"))?;
-        }
-        let systems = scale
-            .get("systems")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| format!("{name}: missing systems array"))?;
-        let labels: Vec<&str> = systems
-            .iter()
-            .filter_map(|s| s.get("system").and_then(Json::as_str))
-            .collect();
-        if labels != expected {
-            return Err(format!(
-                "{name}: systems must be {expected:?}, got {labels:?}"
-            ));
-        }
-        for sys in systems {
-            let label = sys.get("system").and_then(Json::as_str).unwrap_or("?");
-            for key in [
-                "runs",
-                "events",
-                "events_per_sec",
-                "peak_queue_depth",
-                "fct_p50_ms",
-                "fct_p99_ms",
-            ] {
-                sys.get(key)
-                    .and_then(Json::as_f64)
-                    .filter(|&v| v.is_finite() && v > 0.0)
-                    .ok_or_else(|| format!("{name}/{label}: {key} must be a positive number"))?;
-            }
-            let (p50, p99) = (
-                sys.get("fct_p50_ms").and_then(Json::as_f64).unwrap_or(0.0),
-                sys.get("fct_p99_ms").and_then(Json::as_f64).unwrap_or(0.0),
-            );
-            if p99 < p50 {
-                return Err(format!("{name}/{label}: p99 < p50"));
-            }
-            // ez-Segway can strand individual flows under contention (it
-            // retries forever); everything else must finish everything. A
-            // rate below 0.95 means the run itself is broken.
-            let rate = sys
-                .get("completion_rate")
-                .and_then(Json::as_f64)
-                .filter(|r| (0.0..=1.0).contains(r))
-                .ok_or_else(|| format!("{name}/{label}: completion_rate must be in [0, 1]"))?;
-            if rate < 0.95 {
-                return Err(format!("{name}/{label}: completion_rate {rate} below 0.95"));
-            }
-        }
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::{strip_timing, validate_report};
 
     /// The smallest cell end to end: every system completes the Fig.-1
     /// scale workload, produces events, and reports plausible FCTs.
     #[test]
     fn fig1_cell_runs_for_every_system() {
         let scale = &scales()[0];
-        let result = run_scale(scale, 1);
+        let result = run_scale(scale, 1, 1);
         assert_eq!(result.nodes, 8);
         assert_eq!(result.systems.len(), 4);
         for s in &result.systems {
@@ -375,6 +453,7 @@ mod tests {
                 "{} did not complete",
                 s.system
             );
+            assert_eq!(s.stranded_flows, 0, "{} stranded a flow", s.system);
             assert!(s.events > 0);
             assert!(s.peak_queue_depth > 0);
             assert!(s.fct_p50_ms > 0.0 && s.fct_p99_ms >= s.fct_p50_ms);
@@ -383,19 +462,40 @@ mod tests {
 
     #[test]
     fn smoke_report_validates() {
-        let report = run_bench(true);
+        let report = run_bench(true, 1);
         validate_report(&report, 1).unwrap();
         // Smoke mode must not claim full-scale coverage.
-        assert!(validate_report(&report, 3).is_err());
+        assert!(validate_report(&report, 4).is_err());
+    }
+
+    /// The tentpole determinism claim: the canonical (timing-stripped)
+    /// artifact is byte-identical whether the grid ran on one worker or
+    /// four.
+    #[test]
+    fn thread_count_does_not_change_the_canonical_artifact() {
+        let serial = strip_timing(&run_bench(true, 1)).to_string_pretty();
+        let sharded = strip_timing(&run_bench(true, 4)).to_string_pretty();
+        assert_eq!(serial, sharded);
+    }
+
+    /// `parallel_map` preserves input order for every thread count,
+    /// including more threads than jobs.
+    #[test]
+    fn parallel_map_is_order_preserving() {
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(37, threads, |i| i * i);
+            assert_eq!(got, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(parallel_map(0, 4, |i| i).is_empty());
     }
 
     #[test]
     fn validation_rejects_tampered_reports() {
-        let report = run_bench(true);
+        let report = run_bench(true, 1);
         let text = report.to_string_pretty();
         validate_report(&Json::parse(&text).unwrap(), 1).unwrap();
 
-        let broken = text.replace("p4update-bench-v1", "other-schema");
+        let broken = text.replace("p4update-bench-v2", "other-schema");
         assert!(validate_report(&Json::parse(&broken).unwrap(), 1).is_err());
 
         let broken = text.replace("\"ez-segway\"", "\"renamed\"");
@@ -403,5 +503,61 @@ mod tests {
 
         let broken = text.replace("\"completion_rate\": 1", "\"completion_rate\": 0.5");
         assert!(validate_report(&Json::parse(&broken).unwrap(), 1).is_err());
+    }
+
+    /// A v1 artifact (no `thread_scaling`, no per-system
+    /// `stranded_flows`) must be rejected, with the schema tag named in
+    /// the error.
+    #[test]
+    fn validation_rejects_v1_artifacts() {
+        let report = run_bench(true, 1);
+        let text = report
+            .to_string_pretty()
+            .replace("p4update-bench-v2", "p4update-bench-v1");
+        let err = validate_report(&Json::parse(&text).unwrap(), 1).unwrap_err();
+        assert!(err.contains("p4update-bench-v1"), "unhelpful error: {err}");
+    }
+
+    /// Duplicate scale entries and duplicate system entries are both
+    /// rejected even when every individual entry would validate.
+    #[test]
+    fn validation_rejects_duplicate_scales_and_systems() {
+        let report = run_bench(true, 1);
+
+        let mut dup_scale = report.clone();
+        if let Json::Obj(members) = &mut dup_scale {
+            for (k, v) in members.iter_mut() {
+                if k == "scales" {
+                    if let Json::Arr(items) = v {
+                        let first = items[0].clone();
+                        items.push(first);
+                    }
+                }
+            }
+        }
+        let err = validate_report(&dup_scale, 1).unwrap_err();
+        assert!(err.contains("duplicate scale"), "unhelpful error: {err}");
+
+        let mut dup_system = report.clone();
+        if let Json::Obj(members) = &mut dup_system {
+            for (k, v) in members.iter_mut() {
+                if k == "scales" {
+                    if let Json::Arr(items) = v {
+                        if let Json::Obj(scale) = &mut items[0] {
+                            for (sk, sv) in scale.iter_mut() {
+                                if sk == "systems" {
+                                    if let Json::Arr(sys) = sv {
+                                        let first = sys[0].clone();
+                                        sys.push(first);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_report(&dup_system, 1).unwrap_err();
+        assert!(err.contains("duplicate system"), "unhelpful error: {err}");
     }
 }

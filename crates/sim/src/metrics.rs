@@ -43,6 +43,10 @@ pub struct MetricsCounts {
     pub control_drops: u64,
     /// Update-notification deliveries at switches.
     pub unm_deliveries: u64,
+    /// Flows whose triggered update never completed within the run
+    /// (recorded by `NetworkSim::record_stranded_flows` at end of run —
+    /// e.g. ez-Segway's capacity-wait deadlocks).
+    pub stranded_flows: u64,
 }
 
 /// Where the simulated network reports its measurements.
@@ -69,6 +73,9 @@ pub trait MetricsSink: Send {
     fn record_control_drop(&mut self);
     /// An update notification (UNM) was delivered at a switch.
     fn record_unm_delivery(&mut self, t: SimTime, node: NodeId);
+    /// A flow's triggered update never completed within the run (end-of-
+    /// run accounting; see `NetworkSim::record_stranded_flows`).
+    fn record_stranded(&mut self, flow: FlowId);
 
     /// Aggregate counters.
     fn counts(&self) -> MetricsCounts;
@@ -76,6 +83,8 @@ pub trait MetricsSink: Send {
     fn completions(&self) -> &[(SimTime, FlowId, Version)];
     /// Alarm events `(time, flow, reason)`; empty for the null sink.
     fn alarms(&self) -> &[(SimTime, FlowId, RejectReason)];
+    /// Flows recorded as stranded; empty for the null sink.
+    fn stranded(&self) -> &[FlowId];
 
     /// Downcast to the full-recording sink, when this is one. The
     /// harness's `NetworkSim::metrics()` convenience goes through here.
@@ -129,6 +138,8 @@ pub struct Metrics {
     /// Update-notification deliveries per switch (diagnostics for loss
     /// recovery analysis).
     pub unm_deliveries: Vec<(SimTime, NodeId)>,
+    /// Flows whose triggered update never completed within the run.
+    pub stranded: Vec<FlowId>,
 }
 
 impl MetricsSink for Metrics {
@@ -164,6 +175,10 @@ impl MetricsSink for Metrics {
         self.unm_deliveries.push((t, node));
     }
 
+    fn record_stranded(&mut self, flow: FlowId) {
+        self.stranded.push(flow);
+    }
+
     fn counts(&self) -> MetricsCounts {
         MetricsCounts {
             arrivals: self.arrivals.len() as u64,
@@ -175,6 +190,7 @@ impl MetricsSink for Metrics {
             triggers: self.triggers.len() as u64,
             control_drops: self.control_drops,
             unm_deliveries: self.unm_deliveries.len() as u64,
+            stranded_flows: self.stranded.len() as u64,
         }
     }
 
@@ -184,6 +200,10 @@ impl MetricsSink for Metrics {
 
     fn alarms(&self) -> &[(SimTime, FlowId, RejectReason)] {
         &self.alarms
+    }
+
+    fn stranded(&self) -> &[FlowId] {
+        &self.stranded
     }
 
     fn as_full(&self) -> Option<&Metrics> {
@@ -267,6 +287,7 @@ pub struct StreamingMetrics {
     counts: MetricsCounts,
     completions: Vec<(SimTime, FlowId, Version)>,
     alarms: Vec<(SimTime, FlowId, RejectReason)>,
+    stranded: Vec<FlowId>,
     delivery_times: Reservoir,
     first_trigger: Option<SimTime>,
 }
@@ -290,6 +311,7 @@ impl StreamingMetrics {
             counts: MetricsCounts::default(),
             completions: Vec::new(),
             alarms: Vec::new(),
+            stranded: Vec::new(),
             delivery_times: Reservoir::new(capacity, seed),
             first_trigger: None,
         }
@@ -343,6 +365,11 @@ impl MetricsSink for StreamingMetrics {
         self.counts.unm_deliveries += 1;
     }
 
+    fn record_stranded(&mut self, flow: FlowId) {
+        self.counts.stranded_flows += 1;
+        self.stranded.push(flow);
+    }
+
     fn counts(&self) -> MetricsCounts {
         self.counts
     }
@@ -353,6 +380,10 @@ impl MetricsSink for StreamingMetrics {
 
     fn alarms(&self) -> &[(SimTime, FlowId, RejectReason)] {
         &self.alarms
+    }
+
+    fn stranded(&self) -> &[FlowId] {
+        &self.stranded
     }
 }
 
@@ -369,6 +400,7 @@ impl MetricsSink for NullMetrics {
     fn record_trigger(&mut self, _t: SimTime, _batch: usize) {}
     fn record_control_drop(&mut self) {}
     fn record_unm_delivery(&mut self, _t: SimTime, _node: NodeId) {}
+    fn record_stranded(&mut self, _flow: FlowId) {}
 
     fn counts(&self) -> MetricsCounts {
         MetricsCounts::default()
@@ -379,6 +411,10 @@ impl MetricsSink for NullMetrics {
     }
 
     fn alarms(&self) -> &[(SimTime, FlowId, RejectReason)] {
+        &[]
+    }
+
+    fn stranded(&self) -> &[FlowId] {
         &[]
     }
 }
@@ -457,13 +493,19 @@ mod tests {
             sink.record_alarm(at(7), FlowId(1), RejectReason::InsufficientCapacity);
             sink.record_control_drop();
             sink.record_unm_delivery(at(8), NodeId(1));
+            sink.record_stranded(FlowId(3));
         }
         assert_eq!(full.counts(), streaming.counts());
+        assert_eq!(full.counts().stranded_flows, 1);
         assert_eq!(
             MetricsSink::completions(&full),
             MetricsSink::completions(&streaming)
         );
         assert_eq!(MetricsSink::alarms(&full), MetricsSink::alarms(&streaming));
+        assert_eq!(
+            MetricsSink::stranded(&full),
+            MetricsSink::stranded(&streaming)
+        );
         assert_eq!(streaming.completion_of(FlowId(0), Version(2)), Some(at(6)));
         assert_eq!(streaming.last_completion(&[FlowId(0)]), Some(at(6)));
         assert!(full.as_full().is_some());
@@ -495,8 +537,10 @@ mod tests {
         n.record_arrival(at(1), NodeId(0), pkt(1));
         n.record_completion(at(2), FlowId(0), Version(2));
         n.record_control_drop();
+        n.record_stranded(FlowId(0));
         assert_eq!(n.counts(), MetricsCounts::default());
         assert!(n.completions().is_empty());
+        assert!(n.stranded().is_empty());
         assert_eq!(n.completion_of(FlowId(0), Version(2)), None);
     }
 }

@@ -18,6 +18,57 @@ use p4update_des::{ChoiceKind, Scheduler, SimDuration, SimRng, SimTime, Simulati
 use p4update_messages::{DataPacket, Message};
 use p4update_net::{latency_distances_from, FlowId, FlowUpdate, NodeId, Path, Topology, Version};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// All-pairs shortest-path tables (latency and hop count) for a topology.
+///
+/// Computing these is O(n² log n) and was the dominant *setup* cost of a
+/// large-scale run (at ft4096 the tables hold 2 × 4096² entries); they
+/// depend only on the topology, so the scale harness computes them once
+/// per topology and shares them (`Arc`) across every run — and across the
+/// parallel runner's worker threads. The numbers are bit-identical to a
+/// per-run computation, so sharing cannot perturb determinism.
+pub struct PathTables {
+    /// Latency (ms) of the shortest path between every node pair.
+    sp_latency_ms: Vec<Vec<f64>>,
+    /// Hop count of the latency-shortest path between every node pair.
+    sp_hops: Vec<Vec<u32>>,
+}
+
+impl PathTables {
+    /// Compute the tables for `topo` (Dijkstra per node for latencies,
+    /// BFS per node for hop counts).
+    pub fn compute(topo: &Topology) -> Self {
+        let n = topo.node_count();
+        let mut sp_latency_ms = Vec::with_capacity(n);
+        let mut sp_hops = Vec::with_capacity(n);
+        for v in topo.node_ids() {
+            sp_latency_ms.push(latency_distances_from(topo, v));
+            // Hop counts via BFS (good enough for relay cost estimation).
+            let mut hops = vec![u32::MAX; n];
+            hops[v.index()] = 0;
+            let mut queue = std::collections::VecDeque::from([v]);
+            while let Some(x) = queue.pop_front() {
+                for &(y, _) in topo.neighbors(x) {
+                    if hops[y.index()] == u32::MAX {
+                        hops[y.index()] = hops[x.index()] + 1;
+                        queue.push_back(y);
+                    }
+                }
+            }
+            sp_hops.push(hops);
+        }
+        PathTables {
+            sp_latency_ms,
+            sp_hops,
+        }
+    }
+
+    /// Number of nodes the tables were computed for.
+    pub fn node_count(&self) -> usize {
+        self.sp_latency_ms.len()
+    }
+}
 
 /// Which system drives the updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,10 +191,8 @@ pub struct NetworkSim {
     pub controller: ControllerImpl,
     config: SimConfig,
     rng: SimRng,
-    /// Latency (ms) of the shortest path between every node pair.
-    sp_latency_ms: Vec<Vec<f64>>,
-    /// Hop count of the latency-shortest path between every node pair.
-    sp_hops: Vec<Vec<u32>>,
+    /// Shared all-pairs shortest-path tables (see [`PathTables`]).
+    tables: Arc<PathTables>,
     /// Serial-processing horizon per switch, indexed by `NodeId::index`.
     switch_busy: Vec<SimTime>,
     /// Whether each switch has an armed resubmission poll loop.
@@ -156,6 +205,9 @@ pub struct NetworkSim {
     pub flows: BTreeMap<FlowId, FlowSpec>,
     /// Where measurements go; defaults to the full-recording [`Metrics`].
     sink: Box<dyn MetricsSink>,
+    /// Reusable effect buffer: taken at the top of each hot event arm and
+    /// put back cleared, so the event loop allocates nothing per event.
+    scratch: Vec<Effect>,
     /// Violations found by per-event checking (paranoid mode).
     pub violations: Vec<(SimTime, Violation)>,
     /// Findings of the static analysis gate (`SimConfig::analysis_gate`):
@@ -174,6 +226,24 @@ impl NetworkSim {
         config: SimConfig,
         free_capacity: Option<BTreeMap<(NodeId, NodeId), f64>>,
     ) -> Self {
+        let tables = Arc::new(PathTables::compute(&topo));
+        Self::with_path_tables(topo, system, config, free_capacity, tables)
+    }
+
+    /// Like [`Self::new`], but reusing precomputed [`PathTables`] — the
+    /// scale harness shares one table set across all runs on a topology.
+    pub fn with_path_tables(
+        topo: Topology,
+        system: System,
+        config: SimConfig,
+        free_capacity: Option<BTreeMap<(NodeId, NodeId), f64>>,
+        tables: Arc<PathTables>,
+    ) -> Self {
+        assert_eq!(
+            tables.node_count(),
+            topo.node_count(),
+            "path tables were computed for a different topology"
+        );
         let mut rng = SimRng::new(config.seed);
         let switches = SwitchTable::build(&topo, |id| {
             let logic: Box<dyn SwitchLogic + Send> = match system {
@@ -201,24 +271,6 @@ impl NetworkSim {
             }),
         };
         let n = topo.node_count();
-        let mut sp_latency_ms = Vec::with_capacity(n);
-        let mut sp_hops = Vec::with_capacity(n);
-        for v in topo.node_ids() {
-            sp_latency_ms.push(latency_distances_from(&topo, v));
-            // Hop counts via BFS (good enough for relay cost estimation).
-            let mut hops = vec![u32::MAX; n];
-            hops[v.index()] = 0;
-            let mut queue = std::collections::VecDeque::from([v]);
-            while let Some(x) = queue.pop_front() {
-                for &(y, _) in topo.neighbors(x) {
-                    if hops[y.index()] == u32::MAX {
-                        hops[y.index()] = hops[x.index()] + 1;
-                        queue.push_back(y);
-                    }
-                }
-            }
-            sp_hops.push(hops);
-        }
         let _ = rng.fork(0); // reserve a stream for future model components
         NetworkSim {
             switch_busy: vec![SimTime::ZERO; n],
@@ -228,14 +280,14 @@ impl NetworkSim {
             controller,
             config,
             rng,
-            sp_latency_ms,
-            sp_hops,
+            tables,
             ctrl_busy: SimTime::ZERO,
             batches: Vec::new(),
             flows: BTreeMap::new(),
             sink: Box::new(Metrics::default()),
             violations: Vec::new(),
             analysis_findings: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -269,6 +321,35 @@ impl NetworkSim {
     /// (counters, completions, alarms).
     pub fn sink(&self) -> &dyn MetricsSink {
         &*self.sink
+    }
+
+    /// End-of-run accounting: record every flow whose scheduled updates
+    /// outnumber its completions as *stranded* in the metrics sink, and
+    /// return those flows (ascending). Call once after the run; a
+    /// non-empty result on a fault-free run is a liveness gap in the
+    /// system under test (ez-Segway's circular capacity waits at ft512
+    /// are the motivating case — see `tests/fault_injection.rs`).
+    pub fn record_stranded_flows(&mut self) -> Vec<FlowId> {
+        let mut expected: BTreeMap<FlowId, u64> = BTreeMap::new();
+        for batch in &self.batches {
+            for u in batch {
+                *expected.entry(u.flow).or_insert(0) += 1;
+            }
+        }
+        let mut stranded = Vec::new();
+        for (&flow, &want) in &expected {
+            let got = self
+                .sink
+                .completions()
+                .iter()
+                .filter(|&&(_, f, _)| f == flow)
+                .count() as u64;
+            if got < want {
+                stranded.push(flow);
+                self.sink.record_stranded(flow);
+            }
+        }
+        stranded
     }
 
     /// The full-recording metrics, when the full sink is installed (the
@@ -342,7 +423,7 @@ impl NetworkSim {
     fn control_latency(&mut self, node: NodeId) -> SimDuration {
         match self.config.timing.control {
             ControlLatency::ShortestPathFrom(ctrl) => {
-                ms(self.sp_latency_ms[ctrl.index()][node.index()])
+                ms(self.tables.sp_latency_ms[ctrl.index()][node.index()])
             }
             ControlLatency::NormalMs {
                 mean,
@@ -358,8 +439,8 @@ impl NetworkSim {
         if let Some(lat) = self.topo.latency_between(from, to) {
             return lat;
         }
-        let lat = ms(self.sp_latency_ms[from.index()][to.index()]);
-        let hops = self.sp_hops[from.index()][to.index()].max(1);
+        let lat = ms(self.tables.sp_latency_ms[from.index()][to.index()]);
+        let hops = self.tables.sp_hops[from.index()][to.index()].max(1);
         lat + ms(self.config.timing.relay_hop_ms).saturating_mul(hops as u64)
     }
 
@@ -405,10 +486,10 @@ impl NetworkSim {
         &mut self,
         node: NodeId,
         base: SimTime,
-        effects: Vec<Effect>,
+        effects: &mut Vec<Effect>,
         sched: &mut Scheduler<Event>,
     ) {
-        for effect in effects {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::SendSwitch { to, msg } => {
                     if self.fault_drop(self.config.faults.drop_switch_to_switch) {
@@ -617,12 +698,13 @@ impl World for NetworkSim {
                 if matches!(msg, Message::Unm(_)) {
                     self.sink.record_unm_delivery(now, node);
                 }
-                let effects = self
-                    .switches
+                let mut effects = std::mem::take(&mut self.scratch);
+                self.switches
                     .get_mut(node)
                     .expect("switch exists")
-                    .handle_message(now, from, msg);
-                self.apply_switch_effects(node, done, effects, sched);
+                    .handle_message_into(now, from, msg, &mut effects);
+                self.apply_switch_effects(node, done, &mut effects, sched);
+                self.scratch = effects;
                 self.arm_poll(node, sched);
             }
             Event::InstallComplete { node, flow, token } => {
@@ -633,12 +715,13 @@ impl World for NetworkSim {
                 }
                 let done = now + ms(self.config.timing.switch_proc_ms);
                 self.switch_busy[node.index()] = done;
-                let effects = self
-                    .switches
+                let mut effects = std::mem::take(&mut self.scratch);
+                self.switches
                     .get_mut(node)
                     .expect("switch exists")
-                    .handle_installed(now, flow, token);
-                self.apply_switch_effects(node, done, effects, sched);
+                    .handle_installed_into(now, flow, token, &mut effects);
+                self.apply_switch_effects(node, done, &mut effects, sched);
+                self.scratch = effects;
                 self.arm_poll(node, sched);
             }
             Event::InjectPacket {
@@ -661,12 +744,13 @@ impl World for NetworkSim {
                 let done = now + ms(self.config.timing.switch_proc_ms);
                 self.switch_busy[node.index()] = done;
                 self.sink.record_arrival(now, node, pkt);
-                let effects = self
-                    .switches
+                let mut effects = std::mem::take(&mut self.scratch);
+                self.switches
                     .get_mut(node)
                     .expect("switch exists")
-                    .inject_packet(now, pkt, egress_hint);
-                self.apply_switch_effects(node, done, effects, sched);
+                    .inject_packet_into(now, pkt, egress_hint, &mut effects);
+                self.apply_switch_effects(node, done, &mut effects, sched);
+                self.scratch = effects;
             }
             Event::DeliverToController { from, msg } => {
                 // FIFO single-threaded controller: queue behind the busy
@@ -733,12 +817,14 @@ impl World for NetworkSim {
 /// Convenience: wrap a [`NetworkSim`] into a ready-to-run simulation with
 /// a livelock guard sized for the evaluation scenarios.
 pub fn simulation(world: NetworkSim) -> Simulation<NetworkSim> {
-    // Pre-size the event heap: in-flight events scale with the switch
+    // Pre-size the event queue: in-flight events scale with the switch
     // count (serial pipelines bound per-switch fan-out), so a small
     // multiple of it avoids every steady-state reallocation.
     let capacity = world.topology().node_count() * 8 + 1024;
+    let backend = world.config().queue_backend;
     Simulation::new(world)
         .with_event_budget(20_000_000)
+        .with_queue_backend(backend)
         .with_queue_capacity(capacity)
 }
 

@@ -1,35 +1,54 @@
 //! Performance baseline runner: drives the multi-flow scale benchmark and
 //! writes `BENCH_p4update.json` (events/sec, peak queue depth, p50/p99
-//! flow-completion times for every scale × system cell).
+//! flow-completion times and stranded-flow counts for every
+//! scale × system cell, plus a run-level thread-scaling probe).
 //!
 //! ```sh
 //! cargo run --release --example perf              # full run, writes BENCH_p4update.json
 //! cargo run --example perf -- --smoke             # CI smoke: small scales, schema check only
+//! cargo run --example perf -- --smoke --out /tmp/a.json --strip-timing
 //! cargo run --example perf -- --check BENCH_p4update.json   # validate an existing artifact
-//! cargo run --release --example perf -- --out /tmp/bench.json
+//! cargo run --release --example perf -- --threads 4
 //! ```
+//!
+//! `--threads N` shards the (system × seed) grid over N workers; the
+//! `--strip-timing` output (wall-clock fields removed) is byte-identical
+//! for any N, which `scripts/check.sh` verifies by diffing a 1-thread
+//! against a 4-thread smoke run.
 //!
 //! The full run should be made from a release build on an otherwise idle
 //! machine; the committed baseline's absolute numbers are indicative, not
 //! normative — `--check` validates shape, not throughput.
 
-use p4update::perf::{run_bench, validate_report, Json};
+use p4update::perf::{run_bench, strip_timing, validate_report, Json};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
-    let mut out = String::from("BENCH_p4update.json");
+    let mut strip = false;
+    let mut threads = 1usize;
+    let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--strip-timing" => strip = true,
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
+            }
             "--out" => {
                 i += 1;
-                out = args
-                    .get(i)
-                    .cloned()
-                    .unwrap_or_else(|| usage("--out needs a path"));
+                out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--out needs a path")),
+                );
             }
             "--check" => {
                 i += 1;
@@ -49,8 +68,8 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
         let doc =
             Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: malformed JSON: {e}")));
-        // The committed baseline must cover all three scales.
-        if let Err(e) = validate_report(&doc, 3) {
+        // The committed baseline must cover all four scales.
+        if let Err(e) = validate_report(&doc, 4) {
             fail(&format!("{path}: {e}"));
         }
         println!("{path}: ok");
@@ -60,20 +79,28 @@ fn main() {
     if !smoke && cfg!(debug_assertions) {
         eprintln!("note: full run in a debug build; use --release for baseline numbers");
     }
-    let report = run_bench(smoke);
-    let min_scales = if smoke { 1 } else { 3 };
+    let report = run_bench(smoke, threads);
+    let min_scales = if smoke { 1 } else { 4 };
     if let Err(e) = validate_report(&report, min_scales) {
         fail(&format!("generated report failed validation: {e}"));
     }
-    if smoke {
-        // Smoke mode is a CI health check: run, validate, don't persist.
-        println!("smoke run ok");
-        return;
-    }
-    let text = report.to_string_pretty();
+    // Smoke mode is a CI health check: run, validate, and only persist
+    // when a path was asked for (the determinism diff in check.sh needs
+    // the artifact on disk).
+    let out = match (smoke, out) {
+        (true, None) => {
+            println!("smoke run ok");
+            return;
+        }
+        (_, out) => out.unwrap_or_else(|| "BENCH_p4update.json".into()),
+    };
+    let persisted = if strip { strip_timing(&report) } else { report };
+    let text = persisted.to_string_pretty();
     std::fs::write(&out, &text).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
     println!("wrote {out}");
-    print_summary(&report);
+    if !smoke {
+        print_summary(&persisted);
+    }
 }
 
 fn print_summary(report: &p4update::perf::Json) {
@@ -86,13 +113,30 @@ fn print_summary(report: &p4update::perf::Json) {
         println!("{name} ({nodes} switches):");
         for sys in scale.get("systems").and_then(Json::as_arr).unwrap_or(&[]) {
             println!(
-                "  {:<12} {:>10.0} events/s   peak queue {:>6.0}   fct p50 {:>8.1} ms   p99 {:>8.1} ms   done {:.1}%",
+                "  {:<12} {:>10.0} events/s   peak queue {:>6.0}   fct p50 {:>8.1} ms   p99 {:>8.1} ms   done {:.1}%   stranded {:.0}",
                 sys.get("system").and_then(Json::as_str).unwrap_or("?"),
                 sys.get("events_per_sec").and_then(Json::as_f64).unwrap_or(0.0),
                 sys.get("peak_queue_depth").and_then(Json::as_f64).unwrap_or(0.0),
                 sys.get("fct_p50_ms").and_then(Json::as_f64).unwrap_or(0.0),
                 sys.get("fct_p99_ms").and_then(Json::as_f64).unwrap_or(0.0),
                 sys.get("completion_rate").and_then(Json::as_f64).unwrap_or(0.0) * 100.0,
+                sys.get("stranded_flows").and_then(Json::as_f64).unwrap_or(0.0),
+            );
+        }
+    }
+    if let Some(ts) = report.get("thread_scaling") {
+        let scale = ts.get("scale").and_then(Json::as_str).unwrap_or("?");
+        let avail = ts
+            .get("parallelism_available")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        println!("thread scaling ({scale}, {avail:.0} cores available):");
+        for p in ts.get("points").and_then(Json::as_arr).unwrap_or(&[]) {
+            println!(
+                "  {:>2.0} threads   {:>7.2} s   speedup {:>5.2}x",
+                p.get("threads").and_then(Json::as_f64).unwrap_or(0.0),
+                p.get("wall_secs").and_then(Json::as_f64).unwrap_or(0.0),
+                p.get("speedup").and_then(Json::as_f64).unwrap_or(0.0),
             );
         }
     }
@@ -100,7 +144,7 @@ fn print_summary(report: &p4update::perf::Json) {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: perf [--smoke] [--out PATH] [--check FILE]");
+    eprintln!("usage: perf [--smoke] [--threads N] [--out PATH] [--strip-timing] [--check FILE]");
     std::process::exit(2);
 }
 

@@ -33,14 +33,31 @@ fi
 echo "==> trace corpus replays byte-exactly (release profile)"
 cargo test -q --release --test corpus_replay
 
+echo "==> heap and calendar queue backends agree on the full corpus"
+cargo test -q --release --test queue_equivalence
+
 echo "==> exploration smoke run (small budget; P4Update must stay clean)"
 cargo run -q --release --example explore -- fig2-ez fig2-p4 --runs 64 --walks 32
 
 echo "==> perf smoke run (small scales; validates the emitted schema)"
 cargo run -q --release --example perf -- --smoke
 
-echo "==> committed BENCH_p4update.json validates against the schema"
+echo "==> perf run-sharding is deterministic (1-thread vs 4-thread smoke)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q --release --example perf -- --smoke --threads 1 --strip-timing --out "$tmpdir/t1.json"
+cargo run -q --release --example perf -- --smoke --threads 4 --strip-timing --out "$tmpdir/t4.json"
+cmp "$tmpdir/t1.json" "$tmpdir/t4.json"
+
+echo "==> committed BENCH_p4update.json validates against the schema (v2)"
 cargo run -q --release --example perf -- --check BENCH_p4update.json
+
+echo "==> schema validation rejects v1 artifacts (no thread_scaling)"
+sed 's/p4update-bench-v2/p4update-bench-v1/' BENCH_p4update.json > "$tmpdir/v1.json"
+if cargo run -q --release --example perf -- --check "$tmpdir/v1.json" 2>/dev/null; then
+    echo "error: the validator accepted an obsolete v1 artifact" >&2
+    exit 1
+fi
 
 # A full baseline regeneration (`cargo run --release --example perf`) is
 # opt-in: absolute throughput numbers are machine-dependent, so CI only

@@ -312,3 +312,86 @@ fn fig2_reordering_loops_ez_segway_but_not_p4update() {
     assert!(!saw[0], "P4Update must never loop");
     assert!(saw[1], "ez-Segway must loop in the Fig. 2 scenario");
 }
+
+/// The ft512 stranded-flow deadlock, pinned. At seed 1 of the scale
+/// harness's gravity workload, ez-Segway strands exactly `FlowId(214)`:
+/// its update swaps only the aggregation hop (228 → 229) on an otherwise
+/// unchanged edge-core-edge route. Because ez-Segway reserves new-path
+/// capacity *before* releasing old-path capacity, the move arrives at
+/// the edge switch while the link toward the new aggregation switch is
+/// transiently oversubscribed by neighbouring in-flight updates, so the
+/// (flow, segment) parks — and `retry_parked` fires only on a later
+/// capacity release on that exact link, which never comes. This is a
+/// scheduling deadlock, not infeasibility: the workload's post-update
+/// allocation leaves far more free capacity on both diverging links than
+/// the flow needs, and P4Update completes the identical workload with
+/// nothing stranded. The stranded-flow accounting this test exercises is
+/// what the benchmark artifact's `stranded_flows` column reports.
+#[test]
+fn ez_segway_strands_flow_214_at_ft512() {
+    use p4update::perf::bench_workload;
+    use p4update::sim::StreamingMetrics;
+
+    let topo = topologies::synthetic_fat_tree_512();
+    let workload = bench_workload(&topo, 1);
+
+    let run = |system: System| {
+        let config = SimConfig::new(TimingConfig::fat_tree(), 1).with_analysis_gate(false);
+        let mut world = NetworkSim::new(
+            topo.clone(),
+            system,
+            config,
+            Some(workload.free_capacity.clone()),
+        )
+        .with_metrics_sink(Box::new(StreamingMetrics::new()));
+        for u in &workload.updates {
+            if let Some(old) = &u.old_path {
+                world.install_initial_path(u.flow, old, u.size);
+            }
+        }
+        let batch = world.add_batch(workload.updates.clone());
+        let mut sim = simulation(world);
+        sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        let _ = sim.run_until(SimTime::ZERO + SimDuration::from_secs(600));
+        let mut world = sim.into_world();
+        let stranded = world.record_stranded_flows();
+        (world, stranded)
+    };
+
+    let (world, stranded) = run(System::EzSegway { congestion: true });
+    assert_eq!(stranded, vec![FlowId(214)], "the deadlocked flow moved");
+    assert_eq!(world.sink().counts().stranded_flows, 1);
+
+    // The deadlock shape: only the aggregation hop changes.
+    let u = workload
+        .updates
+        .iter()
+        .find(|u| u.flow == FlowId(214))
+        .expect("flow 214 is in the seed-1 workload");
+    let old = u.old_path.as_ref().expect("flow 214 has an initial path");
+    assert_eq!(old.nodes().len(), u.new_path.nodes().len());
+    let diverging: Vec<usize> = (0..old.nodes().len())
+        .filter(|&i| old.nodes()[i] != u.new_path.nodes()[i])
+        .collect();
+    assert_eq!(diverging.len(), 1, "only one hop should differ");
+
+    // Not infeasibility: both links the new hop introduces end the update
+    // with ample free capacity — the park simply never gets retried.
+    let i = diverging[0];
+    for (a, b) in [
+        (u.new_path.nodes()[i - 1], u.new_path.nodes()[i]),
+        (u.new_path.nodes()[i], u.new_path.nodes()[i + 1]),
+    ] {
+        let free = workload.free_capacity[&(a, b)];
+        assert!(
+            free > 10.0 * u.size,
+            "link ({a:?},{b:?}) free {free} should dwarf the flow size {}",
+            u.size
+        );
+    }
+
+    // P4Update completes the identical workload with nothing stranded.
+    let (world, stranded) = run(System::P4Update(Strategy::ForceSingle));
+    assert!(stranded.is_empty(), "P4Update stranded {stranded:?}");
+    assert_eq!(world.sink().counts().stranded_flows, 0);
+}
