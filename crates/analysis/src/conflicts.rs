@@ -1,5 +1,11 @@
 //! Cross-update checks over a batch: duplicate/monotone versions (P4U011)
 //! and waits-for cycle detection between concurrent updates (P4U012).
+//!
+//! The graph construction, cycle finding, and diagnostic emission are kept
+//! as separable pieces so the sequential path ([`check_waits_for`]) and the
+//! link-sharded parallel path ([`crate::engine::BatchAnalyzer`]) share the
+//! exact cycle semantics — the differential suites assert the two emit
+//! byte-identical findings.
 
 use crate::diagnostic::{Code, Diagnostic};
 use p4update_core::PreparedUpdate;
@@ -30,18 +36,168 @@ pub(crate) fn check_batch_versions(plans: &[PreparedUpdate], out: &mut Vec<Diagn
 }
 
 /// Directed edges traversed by a path, as ordered node pairs.
-fn edge_set(path: &p4update_net::Path) -> BTreeSet<(NodeId, NodeId)> {
+pub(crate) fn edge_set(path: &p4update_net::Path) -> BTreeSet<(NodeId, NodeId)> {
     path.edges().collect()
 }
 
-/// Build the waits-for graph over the batch and flag cycles.
+/// The per-plan inputs of the waits-for graph: the directed edge sets of a
+/// plan's new and old paths plus its flow identity and size. Precomputed
+/// once so both graph constructions (pairwise and link-indexed) read the
+/// same data.
+pub(crate) struct PlanEdges {
+    pub(crate) flow: p4update_net::FlowId,
+    pub(crate) size: f64,
+    pub(crate) new_edges: BTreeSet<(NodeId, NodeId)>,
+    pub(crate) old_edges: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl PlanEdges {
+    pub(crate) fn of(plan: &PreparedUpdate) -> Self {
+        PlanEdges {
+            flow: plan.flow,
+            size: plan.update.size,
+            new_edges: edge_set(&plan.update.new_path),
+            old_edges: plan
+                .update
+                .old_path
+                .as_ref()
+                .map(edge_set)
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// Whether plans `a` and `b` genuinely contend on the directed link
+/// `(x, y)`: with a topology in hand the edge is only real when the link
+/// cannot hold both flows at once; without one the analyzer is
+/// conservative and assumes contention. (An edge that is not a topology
+/// link is flagged elsewhere as P4U003 and treated as contended here.)
+pub(crate) fn contended(
+    topo: Option<&Topology>,
+    (x, y): (NodeId, NodeId),
+    a: &PlanEdges,
+    b: &PlanEdges,
+) -> bool {
+    match topo.and_then(|t| t.link_between(x, y)) {
+        Some(link) => a.size + b.size > topo.expect("link implies topo").link(link).capacity,
+        None => true,
+    }
+}
+
+/// Build the full waits-for adjacency by pairwise scan (the sequential
+/// reference construction): update `A` *waits for* update `B` when some
+/// directed link on `A`'s new path lies on `B`'s old path but not on `B`'s
+/// new path — `A` moves onto capacity that only frees once `B` has moved
+/// off it — and the link cannot hold both flows.
+pub(crate) fn build_waits_for(edges: &[PlanEdges], topo: Option<&Topology>) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut waits_for: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for a in 0..n {
+        for b in 0..n {
+            if a == b || edges[a].flow == edges[b].flow {
+                continue;
+            }
+            let shared = edges[a]
+                .new_edges
+                .iter()
+                .filter(|e| edges[b].old_edges.contains(e) && !edges[b].new_edges.contains(e));
+            for &e in shared {
+                if contended(topo, e, &edges[a], &edges[b]) {
+                    waits_for[a].push(b);
+                    break;
+                }
+            }
+        }
+    }
+    waits_for
+}
+
+/// Find the cycles a three-coloring DFS reports over `vertices` of the
+/// `waits_for` adjacency (vertex ids are indices into `waits_for`;
+/// `vertices` must be ascending). Cycles are canonicalized (rotated to
+/// start at the smallest participant) and deduplicated; the `BTreeSet`
+/// order is the stable emission order.
 ///
-/// Update `A` *waits for* update `B` when some directed link on `A`'s new
-/// path lies on `B`'s old path but not on `B`'s new path: `A` moves onto
-/// capacity that only frees once `B` has moved off it. With a topology in
-/// hand the edge is only real when the link cannot hold both flows at once
-/// (`size(A) + size(B) > capacity`); without one the analyzer is
-/// conservative and assumes contention.
+/// The DFS is iterative (an explicit stack mirroring the recursion
+/// exactly), so deep chains at hyper-scale batch sizes cannot overflow the
+/// thread stack. Because DFS from a vertex only ever reaches its own
+/// link-connected component, running this per component over the
+/// component's ascending vertex list reports the identical cycle set to
+/// one global pass — the property the sharded engine rests on.
+pub(crate) fn find_cycles(
+    waits_for: &[Vec<usize>],
+    vertices: impl IntoIterator<Item = usize>,
+) -> BTreeSet<Vec<usize>> {
+    let n = waits_for.len();
+    let mut reported: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let mut color = vec![0u8; n]; // 0 = white, 1 = on stack, 2 = done
+    let mut path: Vec<usize> = Vec::new();
+    // (vertex, index of the next neighbor to examine)
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+
+    for root in vertices {
+        if color[root] != 0 {
+            continue;
+        }
+        color[root] = 1;
+        path.push(root);
+        stack.push((root, 0));
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < waits_for[v].len() {
+                let w = waits_for[v][*next];
+                *next += 1;
+                match color[w] {
+                    0 => {
+                        color[w] = 1;
+                        path.push(w);
+                        stack.push((w, 0));
+                    }
+                    1 => {
+                        let start = path.iter().position(|&x| x == w).expect("on stack");
+                        let mut cycle: Vec<usize> = path[start..].to_vec();
+                        let min_pos = cycle
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|&(_, &x)| x)
+                            .map_or(0, |(i, _)| i);
+                        cycle.rotate_left(min_pos);
+                        reported.insert(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                path.pop();
+                stack.pop();
+                color[v] = 2;
+            }
+        }
+    }
+    reported
+}
+
+/// Render the canonical cycle set as `P4U012` diagnostics, one per cycle,
+/// reported at the cycle's smallest flow id in `BTreeSet` order.
+pub(crate) fn cycle_diagnostics(
+    plans: &[PreparedUpdate],
+    cycles: &BTreeSet<Vec<usize>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for cycle in cycles {
+        let flows: Vec<String> = cycle.iter().map(|&i| plans[i].flow.to_string()).collect();
+        out.push(Diagnostic::new(
+            Code::WaitsForCycle,
+            plans[cycle[0]].flow,
+            None,
+            format!(
+                "updates wait on each other's freed capacity in a cycle: {}; \
+                 completion depends on the runtime congestion scheduler",
+                flows.join(" -> ")
+            ),
+        ));
+    }
+}
+
+/// Build the waits-for graph over the batch and flag cycles.
 ///
 /// A cycle means every update in it waits on another — the deadlock
 /// ez-Segway resolves with global dependency graphs and P4Update leaves to
@@ -57,94 +213,8 @@ pub(crate) fn check_waits_for(
     if n < 2 {
         return;
     }
-    let new_edges: Vec<BTreeSet<(NodeId, NodeId)>> =
-        plans.iter().map(|p| edge_set(&p.update.new_path)).collect();
-    let old_edges: Vec<BTreeSet<(NodeId, NodeId)>> = plans
-        .iter()
-        .map(|p| p.update.old_path.as_ref().map(edge_set).unwrap_or_default())
-        .collect();
-
-    let mut waits_for: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for a in 0..n {
-        for b in 0..n {
-            if a == b || plans[a].flow == plans[b].flow {
-                continue;
-            }
-            let contended = new_edges[a]
-                .iter()
-                .filter(|e| old_edges[b].contains(e) && !new_edges[b].contains(e));
-            for &(x, y) in contended {
-                let over_capacity = match topo.and_then(|t| t.link_between(x, y)) {
-                    Some(link) => {
-                        plans[a].update.size + plans[b].update.size
-                            > topo.expect("link implies topo").link(link).capacity
-                    }
-                    // No topology (or an unroutable edge, flagged elsewhere):
-                    // assume the worst.
-                    None => true,
-                };
-                if over_capacity {
-                    waits_for[a].push(b);
-                    break;
-                }
-            }
-        }
-    }
-
-    // Iterative DFS three-coloring; every back edge closes a cycle.
-    // Reported cycles are canonicalized (rotated to start at the smallest
-    // participant) and deduplicated.
-    let mut reported: BTreeSet<Vec<usize>> = BTreeSet::new();
-    let mut color = vec![0u8; n]; // 0 = white, 1 = on stack, 2 = done
-    let mut stack: Vec<usize> = Vec::new();
-
-    fn dfs(
-        v: usize,
-        waits_for: &[Vec<usize>],
-        color: &mut [u8],
-        stack: &mut Vec<usize>,
-        reported: &mut BTreeSet<Vec<usize>>,
-    ) {
-        color[v] = 1;
-        stack.push(v);
-        for &w in &waits_for[v] {
-            match color[w] {
-                0 => dfs(w, waits_for, color, stack, reported),
-                1 => {
-                    let start = stack.iter().position(|&x| x == w).expect("on stack");
-                    let mut cycle: Vec<usize> = stack[start..].to_vec();
-                    let min_pos = cycle
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|&(_, &x)| x)
-                        .map_or(0, |(i, _)| i);
-                    cycle.rotate_left(min_pos);
-                    reported.insert(cycle);
-                }
-                _ => {}
-            }
-        }
-        stack.pop();
-        color[v] = 2;
-    }
-
-    for v in 0..n {
-        if color[v] == 0 {
-            dfs(v, &waits_for, &mut color, &mut stack, &mut reported);
-        }
-    }
-
-    for cycle in reported {
-        let flows: Vec<String> = cycle.iter().map(|&i| plans[i].flow.to_string()).collect();
-        out.push(Diagnostic::new(
-            Code::WaitsForCycle,
-            plans[cycle[0]].flow,
-            None,
-            format!(
-                "updates wait on each other's freed capacity in a cycle: {}; \
-                 completion depends on the runtime congestion scheduler",
-                flows.join(" -> ")
-            ),
-        ));
-    }
+    let edges: Vec<PlanEdges> = plans.iter().map(PlanEdges::of).collect();
+    let waits_for = build_waits_for(&edges, topo);
+    let cycles = find_cycles(&waits_for, 0..n);
+    cycle_diagnostics(plans, &cycles, out);
 }

@@ -37,17 +37,29 @@
 //! - [`analyze`] — one plan against an optional topology.
 //! - [`analyze_with`] — one plan with full context (installed versions).
 //! - [`analyze_batch`] — a batch: per-plan checks plus cross-update checks.
+//! - [`engine::BatchAnalyzer`] — the parallel, incremental engine:
+//!   byte-identical diagnostics on worker pools, delta-driven
+//!   revalidation ([`delta::PlanDelta`]), and on-disk datasets
+//!   ([`dataset`]).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod conflicts;
+pub mod dataset;
+pub mod delta;
 mod diagnostic;
+pub mod engine;
+mod json;
 mod labels;
 mod segmentation;
 mod wire_check;
 
+pub use dataset::{export_dataset, load_dataset, Dataset};
+pub use delta::PlanDelta;
 pub use diagnostic::{Code, Diagnostic, Severity};
+pub use engine::{BatchAnalysis, BatchAnalyzer};
+pub use json::Json;
 
 use p4update_core::PreparedUpdate;
 use p4update_net::{FlowId, Topology, Version};
@@ -76,8 +88,22 @@ impl<'a> AnalysisContext<'a> {
         }
     }
 
-    /// Record the installed version of a flow.
-    pub fn install(&mut self, flow: FlowId, version: Version) -> &mut Self {
+    /// Context carrying a topology plus installed versions in bulk, so
+    /// batch callers don't insert flow-by-flow.
+    pub fn with_installed(
+        topo: Option<&'a Topology>,
+        installed: impl IntoIterator<Item = (FlowId, Version)>,
+    ) -> Self {
+        AnalysisContext {
+            topo,
+            installed: installed.into_iter().collect(),
+        }
+    }
+
+    /// Record the installed version of a flow. A by-value builder, so
+    /// construction chains: `AnalysisContext::with_topo(&t).install(f, v)`.
+    #[must_use = "install is a by-value builder; use the returned context"]
+    pub fn install(mut self, flow: FlowId, version: Version) -> Self {
         self.installed.insert(flow, version);
         self
     }
@@ -189,8 +215,7 @@ mod tests {
     #[test]
     fn stale_version_is_p4u004_with_context() {
         let plan = prepare_update(&fig1_update(), Version(2), Strategy::Auto);
-        let mut ctx = AnalysisContext::default();
-        ctx.install(FlowId(0), Version(2));
+        let ctx = AnalysisContext::default().install(FlowId(0), Version(2));
         let diags = analyze_with(&plan, &ctx);
         assert!(diags.iter().any(|d| d.code == Code::VersionNotNewer));
         // Without context the same plan is clean.

@@ -80,8 +80,7 @@ fn reserved_version_zero() {
 #[test]
 fn version_must_exceed_installed() {
     let plan = prepare_update(&fig1_update(), Version(3), Strategy::Auto);
-    let mut ctx = AnalysisContext::default();
-    ctx.install(FlowId(0), Version(3));
+    let ctx = AnalysisContext::default().install(FlowId(0), Version(3));
     let diags = p4update_analysis::analyze_with(&plan, &ctx);
     assert!(diags.iter().any(|d| d.code == Code::VersionNotNewer));
 }

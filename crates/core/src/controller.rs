@@ -54,7 +54,10 @@ impl Strategy {
 
 /// The prepared configuration for one flow update: the per-switch UIMs plus
 /// the metadata the controller records.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` (not `Eq`, because flow sizes are `f64`) lets incremental
+/// analysis diff successive batches plan-by-plan.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PreparedUpdate {
     /// Flow being updated.
     pub flow: FlowId,

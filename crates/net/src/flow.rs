@@ -77,7 +77,10 @@ impl Flow {
 
 /// A requested route update for one flow: migrate from `old_path` to
 /// `new_path`. Old and new path share ingress and egress.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` (not `Eq`, because of the `f64` size) exists so batch
+/// consumers can diff successive batches positionally.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowUpdate {
     /// The flow being rerouted.
     pub flow: FlowId,

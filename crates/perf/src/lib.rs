@@ -20,4 +20,4 @@ pub mod workload;
 
 pub use json::{strip_timing, validate_report, Json, EXPECTED_SYSTEMS, SCHEMA};
 pub use runner::{run_bench, run_scale, scales, systems, LOAD_FACTOR};
-pub use workload::bench_workload;
+pub use workload::{bench_plans, bench_workload};

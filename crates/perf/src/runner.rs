@@ -368,6 +368,83 @@ fn thread_scaling_probe(smoke: bool) -> Json {
     ])
 }
 
+/// Measure the static batch verifier's throughput: prepare one bench
+/// workload as a plan batch per analysis scale (ft512 and ft4096 for the
+/// baseline, ft64 for CI smoke), lint it with
+/// [`p4update_analysis::BatchAnalyzer`] at 1, 2 and 4 workers, and run
+/// one single-plan delta through the incremental path. Emitted as the
+/// artifact's `analysis` section: plans/sec per worker count, the
+/// diagnostic tally (generated workloads must be analyzer-clean — the
+/// static half of the analyzer-clean ↔ checker-clean cross-validation),
+/// and how many plans the incremental pass actually re-linted.
+fn analysis_probe(smoke: bool) -> Json {
+    use p4update_analysis::{AnalysisContext, BatchAnalyzer, PlanDelta};
+    let all = scales();
+    let probe_scales: Vec<&Scale> = if smoke {
+        vec![&all[1]] // ft64
+    } else {
+        vec![&all[2], &all[3]] // ft512, ft4096
+    };
+    let mut entries = Vec::new();
+    for scale in probe_scales {
+        let topo = (scale.build)();
+        let workload = crate::workload::bench_workload(&topo, 1);
+        let (plans, installed) = crate::workload::bench_plans(&workload);
+        let ctx = AnalysisContext::with_installed(Some(&topo), installed);
+        let mut points = Vec::new();
+        let mut baseline = None;
+        let mut tally = (0usize, 0usize);
+        for workers in [1usize, 2, 4] {
+            let engine = BatchAnalyzer::new(workers);
+            let start = std::time::Instant::now();
+            let analysis = engine.analyze(&plans, &ctx);
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            points.push(Json::Obj(vec![
+                ("workers".into(), Json::Num(workers as f64)),
+                ("wall_secs".into(), Json::Num(secs)),
+                (
+                    "plans_per_sec".into(),
+                    Json::Num((plans.len() as f64 / secs).round()),
+                ),
+            ]));
+            let errors = analysis
+                .diagnostics()
+                .iter()
+                .filter(|d| d.is_error())
+                .count();
+            tally = (errors, analysis.diagnostics().len() - errors);
+            if workers == 1 {
+                baseline = Some(analysis);
+            }
+        }
+        // The incremental path: revise one plan (bump its version; still
+        // newer than installed, so the batch stays clean) and reanalyze.
+        let baseline = baseline.expect("workers=1 ran");
+        let mut revised = plans[0].clone();
+        revised.version = revised.version.next();
+        for (_, uim) in &mut revised.uims {
+            uim.version = revised.version;
+        }
+        let delta = PlanDelta {
+            revised: vec![(0, revised)],
+            ..PlanDelta::default()
+        };
+        let incremental = BatchAnalyzer::new(1).reanalyze(&baseline, &delta, &ctx);
+        entries.push(Json::Obj(vec![
+            ("scale".into(), Json::Str(scale.name.into())),
+            ("plans".into(), Json::Num(plans.len() as f64)),
+            ("errors".into(), Json::Num(tally.0 as f64)),
+            ("warnings".into(), Json::Num(tally.1 as f64)),
+            ("points".into(), Json::Arr(points)),
+            (
+                "incremental_relinted".into(),
+                Json::Num(incremental.revalidated() as f64),
+            ),
+        ]));
+    }
+    Json::Obj(vec![("scales".into(), Json::Arr(entries))])
+}
+
 /// Run the whole benchmark on `threads` workers. `smoke` restricts to
 /// the small scales and seed counts (< 10 s wall) for CI; the full run
 /// regenerates the committed baseline.
@@ -386,11 +463,13 @@ pub fn run_bench(smoke: bool, threads: usize) -> Json {
         scale_values.push(scale_to_json(&result));
     }
     let scaling = thread_scaling_probe(smoke);
+    let analysis = analysis_probe(smoke);
     Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
         ("load_factor".into(), Json::Num(LOAD_FACTOR)),
         ("smoke".into(), Json::Bool(smoke)),
         ("thread_scaling".into(), scaling),
+        ("analysis".into(), analysis),
         ("scales".into(), Json::Arr(scale_values)),
     ])
 }

@@ -4,15 +4,40 @@
 //! same recipe the criterion benches use, rehoused here so the offline
 //! workspace (which excludes `crates/bench`) can drive it too.
 
+use p4update_core::{prepare_update, PreparedUpdate, Strategy};
 use p4update_des::SimRng;
-use p4update_net::Topology;
+use p4update_net::{FlowId, Topology, Version};
 use p4update_traffic::{multi_flow, Workload};
+use std::collections::BTreeMap;
 
 /// Deterministic benchmark workload for `seed`: the updates plus the
 /// post-allocation free capacity the congestion-aware controllers need.
 pub fn bench_workload(topo: &Topology, seed: u64) -> Workload {
     let mut rng = SimRng::new(seed);
     multi_flow(topo, &mut rng, crate::runner::LOAD_FACTOR)
+}
+
+/// Prepare a workload as an analyzable plan batch, replicating the
+/// controller's version assignment: migrations move from installed
+/// version 1 to version 2, fresh deployments start at version 1. Returns
+/// the batch plus the installed-version context the analyzer should lint
+/// against.
+pub fn bench_plans(workload: &Workload) -> (Vec<PreparedUpdate>, BTreeMap<FlowId, Version>) {
+    let mut installed = BTreeMap::new();
+    let plans = workload
+        .updates
+        .iter()
+        .map(|u| {
+            let version = if u.old_path.is_some() {
+                installed.insert(u.flow, Version(1));
+                Version(2)
+            } else {
+                Version(1)
+            };
+            prepare_update(u, version, Strategy::Auto)
+        })
+        .collect();
+    (plans, installed)
 }
 
 #[cfg(test)]

@@ -20,5 +20,5 @@ pub use config::{
     ControlLatency, FaultChoiceConfig, FaultConfig, InstallDelay, SimConfig, TimingConfig,
 };
 pub use metrics::{Metrics, MetricsCounts, MetricsSink, NullMetrics, StreamingMetrics};
-pub use network::{simulation, ControllerImpl, Event, NetworkSim, PathTables, System};
+pub use network::{simulation, ControllerImpl, Event, GateStats, NetworkSim, PathTables, System};
 pub use table::SwitchTable;

@@ -10,7 +10,7 @@ use crate::checker::{check, FlowSpec, Violation};
 use crate::config::{ms, ControlLatency, InstallDelay, SimConfig};
 use crate::metrics::{Metrics, MetricsSink};
 use crate::table::SwitchTable;
-use p4update_analysis::{analyze_batch_with, AnalysisContext, Diagnostic};
+use p4update_analysis::{AnalysisContext, BatchAnalysis, BatchAnalyzer, Diagnostic, PlanDelta};
 use p4update_baselines::{CentralController, CentralSwitchLogic, EzController, EzSwitchLogic};
 use p4update_core::{prepare_update, P4UpdateController, P4UpdateLogic, PreparedUpdate, Strategy};
 use p4update_dataplane::{ControllerLogic, CtrlEffect, Effect, Endpoint, Switch, SwitchLogic};
@@ -214,6 +214,25 @@ pub struct NetworkSim {
     /// every diagnostic the plan linter raised for triggered P4Update
     /// batches, warnings included.
     pub analysis_findings: Vec<Diagnostic>,
+    /// The previous gate pass, kept so the next triggered batch is
+    /// revalidated incrementally ([`BatchAnalyzer::reanalyze`]) instead of
+    /// re-linted from scratch.
+    gate_cache: Option<BatchAnalysis>,
+    /// Work counters of the incremental analysis gate.
+    pub gate_stats: GateStats,
+}
+
+/// Work counters of the sim's incremental analysis gate: how much linting
+/// the gate was asked for versus how much it actually performed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GateStats {
+    /// Triggered batches the gate linted.
+    pub batches: usize,
+    /// Plans that crossed the gate (sum of batch sizes).
+    pub plans: usize,
+    /// Plans the gate actually re-linted; the difference to `plans` was
+    /// revalidated from the previous batch's cached analysis.
+    pub relinted: usize,
 }
 
 impl NetworkSim {
@@ -287,6 +306,8 @@ impl NetworkSim {
             sink: Box::new(Metrics::default()),
             violations: Vec::new(),
             analysis_findings: Vec::new(),
+            gate_cache: None,
+            gate_stats: GateStats::default(),
             scratch: Vec::new(),
         }
     }
@@ -294,6 +315,13 @@ impl NetworkSim {
     /// The topology under simulation.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// The scheduled update batches, in trigger order (what the analysis
+    /// gate will lint; exposed so differential test harnesses can prepare
+    /// and analyze the same batches out-of-band).
+    pub fn batches(&self) -> &[Vec<FlowUpdate>] {
+        &self.batches
     }
 
     /// The configuration this world was assembled with.
@@ -648,19 +676,40 @@ impl NetworkSim {
                 prepare_update(u, v, c.strategy())
             })
             .collect();
-        let mut ctx = AnalysisContext::with_topo(&self.topo);
-        for u in updates {
-            if let Some(cur) = c.current_version(u.flow) {
-                ctx.install(u.flow, cur);
-            }
-        }
-        let diags = analyze_batch_with(&plans, &ctx);
-        debug_assert!(
-            !diags.iter().any(Diagnostic::is_error),
-            "analysis gate rejected a plan: {:?}",
-            diags.iter().filter(|d| d.is_error()).collect::<Vec<_>>()
+        let ctx = AnalysisContext::with_installed(
+            Some(&self.topo),
+            updates
+                .iter()
+                .filter_map(|u| c.current_version(u.flow).map(|v| (u.flow, v))),
         );
-        self.analysis_findings.extend(diags);
+        // One worker keeps the gate free of threads inside the event loop;
+        // the engine is byte-identical at any worker count, so this is
+        // purely a scheduling choice. The previous pass's cache makes
+        // steady-state batches (unchanged plans, unchanged installed
+        // versions) revalidate instead of re-lint.
+        let engine = BatchAnalyzer::new(1);
+        let analysis = match self.gate_cache.take() {
+            Some(prev) => {
+                let delta = PlanDelta::diff(prev.plans(), &plans);
+                engine.reanalyze(&prev, &delta, &ctx)
+            }
+            None => engine.analyze(&plans, &ctx),
+        };
+        self.gate_stats.batches += 1;
+        self.gate_stats.plans += analysis.plan_count();
+        self.gate_stats.relinted += analysis.revalidated();
+        debug_assert!(
+            !analysis.diagnostics().iter().any(Diagnostic::is_error),
+            "analysis gate rejected a plan: {:?}",
+            analysis
+                .diagnostics()
+                .iter()
+                .filter(|d| d.is_error())
+                .collect::<Vec<_>>()
+        );
+        self.analysis_findings
+            .extend(analysis.diagnostics().iter().cloned());
+        self.gate_cache = Some(analysis);
     }
 
     fn run_checker(&mut self, now: SimTime) {

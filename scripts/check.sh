@@ -3,9 +3,11 @@
 #
 #   scripts/check.sh
 #
-# Runs formatting, the clippy lint wall, the full offline test suite, and
-# the static plan linter over its sample plans (including the mutated ones,
-# which must make it exit non-zero).
+# Runs formatting, the clippy lint wall, the full offline test suite, the
+# static plan linter over its sample plans (including the mutated ones,
+# which must make it exit non-zero), and the dataset round trip: an
+# exported on-disk batch must re-lint byte-identically to the in-memory
+# analysis, at any worker count.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +32,21 @@ if cargo run -q --example p4update_lint -- --mutate; then
     exit 1
 fi
 
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "==> dataset round trip: export ft64 batch, re-lint from disk, diff"
+cargo run -q --release --example p4update_lint -- \
+    --export-dataset "$tmpdir/dataset" --scale ft64 > "$tmpdir/lint-mem.txt"
+cargo run -q --release --example p4update_lint -- \
+    --dataset "$tmpdir/dataset" --jobs 1 > "$tmpdir/lint-disk.txt"
+diff "$tmpdir/lint-mem.txt" "$tmpdir/lint-disk.txt"
+
+echo "==> parallel lint output is byte-identical to serial (--jobs 4)"
+cargo run -q --release --example p4update_lint -- \
+    --dataset "$tmpdir/dataset" --jobs 4 > "$tmpdir/lint-par.txt"
+cmp "$tmpdir/lint-disk.txt" "$tmpdir/lint-par.txt"
+
 echo "==> trace corpus replays byte-exactly (release profile)"
 cargo test -q --release --test corpus_replay
 
@@ -43,8 +60,6 @@ echo "==> perf smoke run (small scales; validates the emitted schema)"
 cargo run -q --release --example perf -- --smoke
 
 echo "==> perf run-sharding is deterministic (1-thread vs 4-thread smoke)"
-tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
 cargo run -q --release --example perf -- --smoke --threads 1 --strip-timing --out "$tmpdir/t1.json"
 cargo run -q --release --example perf -- --smoke --threads 4 --strip-timing --out "$tmpdir/t4.json"
 cmp "$tmpdir/t1.json" "$tmpdir/t4.json"

@@ -10,7 +10,10 @@
 //!    consistency-checker `Violation`s. The analyzer's promise is exactly
 //!    that the runtime verifiers never fire.
 
-use p4update::analysis::{analyze, analyze_batch, is_clean, Severity};
+use p4update::analysis::{
+    analyze, analyze_batch, analyze_batch_with, is_clean, AnalysisContext, BatchAnalyzer, Code,
+    Severity,
+};
 use p4update::core::{prepare_update, PreparedUpdate, Strategy};
 use p4update::des::propcheck::{cases, forall};
 use p4update::des::{SimRng, SimTime};
@@ -159,6 +162,114 @@ fn analysis_is_deterministic() {
             mutate(&mut plan, rng);
         }
         assert_eq!(analyze(&plan, None), analyze(&plan, None));
+    });
+}
+
+/// Run a batch through the sequential analyzer and through the parallel
+/// [`BatchAnalyzer`] at 1, 2 and 4 workers; assert all four diagnostic
+/// lists are identical and return one of them.
+fn analyze_both_paths(
+    plans: &[PreparedUpdate],
+    ctx: &AnalysisContext<'_>,
+) -> Vec<p4update::analysis::Diagnostic> {
+    let sequential = analyze_batch_with(plans, ctx);
+    for workers in [1, 2, 4] {
+        let parallel = BatchAnalyzer::new(workers).analyze(plans, ctx);
+        assert_eq!(
+            parallel.diagnostics(),
+            sequential.as_slice(),
+            "parallel path at {workers} workers diverged from sequential"
+        );
+    }
+    sequential
+}
+
+/// Batch-level mutation: duplicating a flow's plan at a non-increasing
+/// version must trip P4U011 (batch version conflict) as an error — on the
+/// sequential path and on the parallel engine at every worker count. The
+/// well-ordered batch (strictly increasing versions) must stay clean.
+#[test]
+fn batch_version_regression_is_flagged_on_both_paths() {
+    forall("batch_version_regression_is_flagged", n_cases(), |rng| {
+        let update = gen_update(rng);
+        let base = 1 + rng.uniform_usize(9) as u32;
+        let ordered = vec![
+            prepare_update(&update, Version(base), Strategy::Auto),
+            prepare_update(&update, Version(base + 1), Strategy::Auto),
+        ];
+        let ctx = AnalysisContext::default();
+        let diags = analyze_both_paths(&ordered, &ctx);
+        assert!(
+            is_clean(&diags),
+            "strictly increasing duplicate versions must be clean: {diags:?}"
+        );
+
+        // Mutation: replay the same flow at a version that does not
+        // strictly increase (equal or regressed).
+        let regressed = vec![
+            prepare_update(&update, Version(base + 1), Strategy::Auto),
+            prepare_update(
+                &update,
+                Version(base + rng.uniform_usize(2) as u32),
+                Strategy::Auto,
+            ),
+        ];
+        let diags = analyze_both_paths(&regressed, &ctx);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::BatchVersionConflict && d.severity == Severity::Error),
+            "version regression across the batch went undetected: {diags:?}"
+        );
+    });
+}
+
+/// Batch-level mutation: two flows exchanging routes form a waits-for
+/// cycle — each needs capacity the other frees — and must trip P4U012 on
+/// both the sequential path and the parallel engine.
+#[test]
+fn forced_waits_for_cycle_is_flagged_on_both_paths() {
+    forall("forced_waits_for_cycle_is_flagged", n_cases(), |rng| {
+        // Random detour node so the swapped link pair varies per case.
+        let via = 3 + rng.uniform_usize(29) as u32;
+        let p = |ids: &[u32]| Path::new(ids.iter().map(|&i| NodeId(i)).collect());
+        let size = 1.0 + rng.uniform_f64();
+        let swap = vec![
+            prepare_update(
+                &FlowUpdate::new(FlowId(1), Some(p(&[0, 1, 2])), p(&[0, via, 2]), size),
+                Version(2),
+                Strategy::Auto,
+            ),
+            prepare_update(
+                &FlowUpdate::new(FlowId(2), Some(p(&[0, via, 2])), p(&[0, 1, 2]), size),
+                Version(2),
+                Strategy::Auto,
+            ),
+        ];
+        // Without a topology the analyzer assumes contention, so the swap
+        // is a cycle regardless of flow size.
+        let ctx = AnalysisContext::default();
+        let diags = analyze_both_paths(&swap, &ctx);
+        assert!(
+            diags.iter().any(|d| d.code == Code::WaitsForCycle),
+            "route-swap waits-for cycle went undetected: {diags:?}"
+        );
+
+        // Breaking the cycle (second flow parks on a disjoint detour)
+        // must clear the P4U012 finding on both paths.
+        let acyclic = vec![
+            swap[0].clone(),
+            prepare_update(
+                &FlowUpdate::new(FlowId(2), Some(p(&[0, via, 2])), p(&[0, via + 1, 2]), size),
+                Version(2),
+                Strategy::Auto,
+            ),
+        ];
+        let diags = analyze_both_paths(&acyclic, &ctx);
+        assert!(
+            diags.iter().all(|d| d.code != Code::WaitsForCycle),
+            "broken swap still reported a cycle: {diags:?}"
+        );
     });
 }
 

@@ -1,0 +1,146 @@
+//! Differential tests for the parallel, incremental [`BatchAnalyzer`]:
+//!
+//! 1. **Parallel equivalence** — for every scenario in the explore
+//!    registry, across several seeds, the sharded engine at 1, 2 and 4
+//!    workers emits a diagnostic list *byte-identical* to the sequential
+//!    `analyze_batch_with` reference (same findings, same order, same
+//!    rendered text).
+//! 2. **Incremental economy** — after a single-plan [`PlanDelta`], the
+//!    `reanalyze` path revalidates strictly fewer plans than a full
+//!    re-lint would, while still producing byte-identical diagnostics.
+
+use p4update::analysis::{analyze_batch_with, AnalysisContext, BatchAnalyzer, PlanDelta};
+use p4update::core::{prepare_update, PreparedUpdate, Strategy};
+use p4update::explore::scenarios;
+use p4update::net::{topologies, FlowId, Version};
+use p4update::perf::{bench_plans, bench_workload};
+use std::collections::BTreeMap;
+
+/// Prepare a scenario batch the way the controller would: migrations of a
+/// known flow bump its installed version, fresh deployments start at 1.
+/// Returns the prepared batch plus the installed-version context in force
+/// when it was prepared.
+fn prepare_batch(
+    batch: &[p4update::net::FlowUpdate],
+    installed: &mut BTreeMap<FlowId, Version>,
+) -> (Vec<PreparedUpdate>, BTreeMap<FlowId, Version>) {
+    let snapshot = installed.clone();
+    let plans = batch
+        .iter()
+        .map(|u| {
+            let version = match installed.get(&u.flow) {
+                Some(v) => v.next(),
+                None if u.old_path.is_some() => {
+                    installed.insert(u.flow, Version(1));
+                    Version(2)
+                }
+                None => Version(1),
+            };
+            installed.insert(u.flow, version);
+            prepare_update(u, version, Strategy::Auto)
+        })
+        .collect();
+    (plans, snapshot)
+}
+
+/// Assert the parallel engine matches the sequential reference
+/// byte-for-byte at several worker counts.
+fn assert_equivalent(plans: &[PreparedUpdate], ctx: &AnalysisContext<'_>, what: &str) {
+    let sequential = analyze_batch_with(plans, ctx);
+    let rendered: Vec<String> = sequential.iter().map(ToString::to_string).collect();
+    for workers in [1, 2, 4] {
+        let analysis = BatchAnalyzer::new(workers).analyze(plans, ctx);
+        assert_eq!(
+            analysis.diagnostics(),
+            sequential.as_slice(),
+            "{what}: {workers} workers diverged from the sequential analyzer"
+        );
+        let parallel_rendered: Vec<String> = analysis
+            .diagnostics()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(
+            parallel_rendered, rendered,
+            "{what}: {workers}-worker rendering is not byte-identical"
+        );
+    }
+}
+
+/// Every registry scenario × several seeds: the engine is equivalent to
+/// the sequential analyzer on each batch the scenario schedules.
+#[test]
+fn engine_matches_sequential_on_every_registry_scenario() {
+    let mut batches_seen = 0usize;
+    for name in scenarios::names() {
+        for seed in [1u64, 7, 23] {
+            let built = scenarios::build(name, seed)
+                .unwrap_or_else(|| panic!("registry name {name:?} must build"));
+            let world = built.sim.into_world();
+            let topo = world.topology().clone();
+            let mut installed = BTreeMap::new();
+            for batch in world.batches() {
+                let (plans, snapshot) = prepare_batch(batch, &mut installed);
+                let ctx = AnalysisContext::with_installed(Some(&topo), snapshot);
+                assert_equivalent(&plans, &ctx, &format!("{name} seed {seed}"));
+                batches_seen += 1;
+            }
+        }
+    }
+    assert!(
+        batches_seen >= scenarios::names().len(),
+        "registry walk must exercise at least one batch per scenario"
+    );
+}
+
+/// Incremental re-analysis after a single-plan delta revalidates strictly
+/// fewer plans than the batch holds, and the result is byte-identical to
+/// a from-scratch analysis of the revised batch.
+#[test]
+fn incremental_reanalysis_revalidates_strictly_fewer_plans() {
+    let topo = topologies::synthetic_fat_tree_64();
+    let (plans, installed) = bench_plans(&bench_workload(&topo, 1));
+    let ctx = AnalysisContext::with_installed(Some(&topo), installed);
+    let engine = BatchAnalyzer::new(2);
+    let full = engine.analyze(&plans, &ctx);
+    assert_eq!(full.revalidated(), plans.len(), "cold run lints everything");
+
+    // Revise exactly one plan: bump its version (and its UIMs' versions,
+    // as the controller would when re-preparing).
+    let mut revised = plans.clone();
+    let bumped = revised[0].version.next();
+    revised[0].version = bumped;
+    for (_, uim) in &mut revised[0].uims {
+        uim.version = bumped;
+    }
+    let delta = PlanDelta::diff(&plans, &revised);
+    assert_eq!(delta.touched(), 1, "exactly one plan changed");
+
+    let incremental = engine.reanalyze(&full, &delta, &ctx);
+    assert!(
+        incremental.revalidated() < plans.len(),
+        "single-plan delta must revalidate strictly fewer plans than a \
+         full re-lint ({} of {})",
+        incremental.revalidated(),
+        plans.len()
+    );
+    assert!(incremental.revalidated() >= 1, "the revised plan re-lints");
+    assert_eq!(
+        incremental.diagnostics(),
+        analyze_batch_with(&revised, &ctx).as_slice(),
+        "incremental result must match a from-scratch analysis"
+    );
+}
+
+/// An empty delta revalidates nothing and reproduces the previous result.
+#[test]
+fn empty_delta_revalidates_nothing() {
+    let topo = topologies::synthetic_fat_tree_64();
+    let (plans, installed) = bench_plans(&bench_workload(&topo, 1));
+    let ctx = AnalysisContext::with_installed(Some(&topo), installed);
+    let engine = BatchAnalyzer::new(1);
+    let full = engine.analyze(&plans, &ctx);
+    let noop = engine.reanalyze(&full, &PlanDelta::default(), &ctx);
+    assert_eq!(noop.revalidated(), 0);
+    assert_eq!(noop.diagnostics(), full.diagnostics());
+}
