@@ -43,7 +43,7 @@ mod stats;
 mod time;
 
 pub use choice::{ChoiceKind, Chooser, FifoChooser};
-pub use engine::{RunOutcome, Scheduler, Simulation, World};
+pub use engine::{EventRouter, RunOutcome, Scheduler, Simulation, World};
 pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend};
 pub use rng::SimRng;
 pub use stats::{Reservoir, Samples};

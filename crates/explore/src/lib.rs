@@ -74,6 +74,34 @@ pub fn run_with_backend(
     run_inner(scenario, seed, forced, free, Some(backend))
 }
 
+/// Like [`run`], but running the *merged sharded* event queue: the
+/// scheduler splits into `partitions` pod-partitioned shards plus a
+/// controller shard and pops the global `(time, seq)` minimum across
+/// them ([`p4update_des::Simulation::with_partitions`]). This keeps the
+/// fully general sequential semantics — faults, forced choices, paranoid
+/// checking — so every corpus trace must replay byte-identically at any
+/// partition count; `tests/partition_equivalence.rs` enforces that.
+pub fn run_partitioned(
+    scenario: &str,
+    seed: u64,
+    forced: BTreeMap<u64, ForcedChoice>,
+    free: FreePolicy,
+    partitions: usize,
+) -> Result<RunReport, String> {
+    run_full(scenario, seed, forced, free, None, Some(partitions))
+}
+
+/// [`replay`] through the merged sharded queue (see [`run_partitioned`]).
+pub fn replay_partitioned(trace: &Trace, partitions: usize) -> Result<RunReport, String> {
+    run_partitioned(
+        &trace.scenario,
+        trace.seed,
+        trace.choices.clone(),
+        FreePolicy::Default,
+        partitions,
+    )
+}
+
 fn run_inner(
     scenario: &str,
     seed: u64,
@@ -81,12 +109,30 @@ fn run_inner(
     free: FreePolicy,
     backend: Option<p4update_des::QueueBackend>,
 ) -> Result<RunReport, String> {
+    run_full(scenario, seed, forced, free, backend, None)
+}
+
+fn run_full(
+    scenario: &str,
+    seed: u64,
+    forced: BTreeMap<u64, ForcedChoice>,
+    free: FreePolicy,
+    backend: Option<p4update_des::QueueBackend>,
+    partitions: Option<usize>,
+) -> Result<RunReport, String> {
     let built =
         scenarios::build(scenario, seed).ok_or_else(|| format!("unknown scenario {scenario:?}"))?;
     let (chooser, log) = TraceChooser::with_policy(forced, free);
     let mut sim = built.sim.with_chooser(Box::new(chooser));
     if let Some(backend) = backend {
         sim = sim.with_queue_backend(backend);
+    }
+    if let Some(partitions) = partitions {
+        let topo = sim.world().topology();
+        let part = p4update_net::PodPartitioner::new(topo, partitions);
+        let router = p4update_sim::event_router(topo, &part);
+        // `partitions` switch shards + 1 controller shard.
+        sim = sim.with_partitions(partitions.max(1) + 1, router);
     }
     let outcome = sim.run_until(built.horizon);
     let events = sim.events_delivered();

@@ -207,6 +207,10 @@ pub struct TopologyBuilder {
     name: String,
     nodes: Vec<Node>,
     links: Vec<Link>,
+    /// Normalized endpoint pairs already linked — duplicate detection must
+    /// be O(1) per link or hyper-scale topologies (ft32768: 1.1M links)
+    /// take quadratic time to even build.
+    seen: std::collections::HashSet<(NodeId, NodeId)>,
 }
 
 impl TopologyBuilder {
@@ -216,6 +220,7 @@ impl TopologyBuilder {
             name: name.into(),
             nodes: Vec::new(),
             links: Vec::new(),
+            seen: std::collections::HashSet::new(),
         }
     }
 
@@ -247,10 +252,7 @@ impl TopologyBuilder {
         assert!(a.index() < self.nodes.len(), "unknown endpoint {a}");
         assert!(b.index() < self.nodes.len(), "unknown endpoint {b}");
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        assert!(
-            !self.links.iter().any(|l| l.a == a && l.b == b),
-            "duplicate link {a}-{b}"
-        );
+        assert!(self.seen.insert((a, b)), "duplicate link {a}-{b}");
         self.links.push(Link {
             a,
             b,

@@ -1,0 +1,185 @@
+//! Topology partitioning for the parallel simulation engine.
+//!
+//! A [`Partitioner`] assigns every switch to a partition; the partitioned
+//! DES engine shards its event queue along those lines and only needs to
+//! synchronize when a message crosses a partition boundary. The scheme is
+//! valid for *any* assignment — correctness never depends on the cut — but
+//! the conservative-lookahead window the engine can run ahead by is the
+//! minimum latency of any link that crosses partitions, so a good cut keeps
+//! chatty neighbours together (for fat-trees: one partition per pod group,
+//! the paper's natural locality unit).
+
+use crate::graph::{NodeId, Topology};
+use p4update_des::SimDuration;
+
+/// Assigns each node of a topology to a partition in `0..partitions()`.
+///
+/// Implementations must be deterministic pure functions of the topology:
+/// the partitioned engine re-derives the assignment on every run and the
+/// byte-identical-replay contract depends on it never changing.
+pub trait Partitioner {
+    /// Number of partitions produced (≥ 1).
+    fn partitions(&self) -> usize;
+    /// The partition `node` belongs to (must be `< self.partitions()`).
+    fn partition_of(&self, node: NodeId) -> usize;
+}
+
+/// The trivial single-partition assignment: every node in partition 0.
+///
+/// This is the fallback for topologies without exploitable structure; the
+/// partitioned engine degenerates to the sequential one.
+#[derive(Debug, Clone, Copy)]
+pub struct SinglePartition;
+
+impl Partitioner for SinglePartition {
+    fn partitions(&self) -> usize {
+        1
+    }
+    fn partition_of(&self, _node: NodeId) -> usize {
+        0
+    }
+}
+
+/// Per-pod partitioning for the synthetic fat-trees built by
+/// [`crate::topologies::synthetic_fat_tree`].
+///
+/// Aggregation and edge switches go to `pod % target`; core switch `i`
+/// goes to `i % target`. The assignment is derived from the generator's
+/// node-name grammar (`core{i}`, `agg{p}_{i}`, `edge{p}_{i}`) so it needs
+/// no side tables; any node outside that grammar lands in partition 0.
+#[derive(Debug, Clone)]
+pub struct PodPartitioner {
+    target: usize,
+    /// Precomputed per-node assignment (dense `NodeId` index).
+    assignment: Vec<usize>,
+}
+
+impl PodPartitioner {
+    /// Partition `topo` into (up to) `target` partitions. `target` is
+    /// clamped to at least 1; topologies smaller than `target` simply leave
+    /// some partitions empty of switches (still valid).
+    pub fn new(topo: &Topology, target: usize) -> Self {
+        let target = target.max(1);
+        let assignment = topo
+            .node_ids()
+            .map(|id| Self::classify(&topo.node(id).name, target))
+            .collect();
+        PodPartitioner { target, assignment }
+    }
+
+    fn classify(name: &str, target: usize) -> usize {
+        if let Some(rest) = name.strip_prefix("core") {
+            if let Ok(i) = rest.parse::<usize>() {
+                return i % target;
+            }
+        }
+        for prefix in ["agg", "edge"] {
+            if let Some(rest) = name.strip_prefix(prefix) {
+                if let Some((pod, _)) = rest.split_once('_') {
+                    if let Ok(p) = pod.parse::<usize>() {
+                        return p % target;
+                    }
+                }
+            }
+        }
+        0
+    }
+}
+
+impl Partitioner for PodPartitioner {
+    fn partitions(&self) -> usize {
+        self.target
+    }
+    fn partition_of(&self, node: NodeId) -> usize {
+        self.assignment[node.0 as usize]
+    }
+}
+
+/// The conservative lookahead a partitioning yields: the minimum latency of
+/// any link whose endpoints live in different partitions.
+///
+/// Any event a partition emits toward another partition arrives at least
+/// this far in the future (every inter-partition path crosses at least one
+/// inter-partition link), so all partitions can safely process events within
+/// a `[t, t + lookahead)` window without hearing from each other. Returns
+/// `None` when no link crosses partitions (single partition, or a
+/// disconnected cut) — the window is then unbounded.
+pub fn min_cross_partition_latency<P: Partitioner + ?Sized>(
+    topo: &Topology,
+    part: &P,
+) -> Option<SimDuration> {
+    let mut min: Option<SimDuration> = None;
+    for link in topo.links() {
+        if part.partition_of(link.a) != part.partition_of(link.b) {
+            let lat = link.latency;
+            min = Some(match min {
+                Some(m) if m <= lat => m,
+                _ => lat,
+            });
+        }
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+
+    #[test]
+    fn single_partition_is_trivial() {
+        let topo = topologies::fig1();
+        let p = SinglePartition;
+        assert_eq!(p.partitions(), 1);
+        for id in topo.node_ids() {
+            assert_eq!(p.partition_of(id), 0);
+        }
+        assert_eq!(min_cross_partition_latency(&topo, &p), None);
+    }
+
+    #[test]
+    fn pod_partitioner_groups_fat_tree_pods() {
+        let topo = topologies::synthetic_fat_tree_64();
+        let p = PodPartitioner::new(&topo, 4);
+        assert_eq!(p.partitions(), 4);
+        // Same-pod agg/edge switches always share a partition.
+        for id in topo.node_ids() {
+            let name = &topo.node(id).name;
+            if let Some(rest) = name.strip_prefix("edge") {
+                let pod: usize = rest.split_once('_').unwrap().0.parse().unwrap();
+                let agg = topo
+                    .node_by_name(&format!("agg{pod}_0"))
+                    .expect("pod has agg switches");
+                assert_eq!(p.partition_of(id), p.partition_of(agg), "{name}");
+            }
+        }
+        // All partitions are populated.
+        let mut seen = [false; 4];
+        for id in topo.node_ids() {
+            seen[p.partition_of(id)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fat_tree_cut_has_positive_lookahead() {
+        let topo = topologies::synthetic_fat_tree_64();
+        for target in [2, 4, 8] {
+            let p = PodPartitioner::new(&topo, target);
+            let la = min_cross_partition_latency(&topo, &p).expect("a multi-pod cut crosses links");
+            assert!(la > SimDuration::ZERO, "zero-latency boundary link");
+            // The generator's uniform link latency is 50µs; the minimum
+            // cross-partition link can't beat the global minimum.
+            assert_eq!(la, SimDuration::from_micros(50));
+        }
+    }
+
+    #[test]
+    fn unknown_names_fall_back_to_partition_zero() {
+        let topo = topologies::fig1();
+        let p = PodPartitioner::new(&topo, 4);
+        for id in topo.node_ids() {
+            assert_eq!(p.partition_of(id), 0);
+        }
+    }
+}

@@ -278,6 +278,14 @@ pub fn synthetic_fat_tree_4096() -> Topology {
     synthetic_fat_tree(64, 126, 16)
 }
 
+/// 32768-switch synthetic fat-tree (128 cores, 240 pods × 68 agg + 68
+/// edge) — the hyper-scale topology only the partitioned engine can run:
+/// dense all-pairs path tables alone would need ~16 GiB at this node
+/// count, so the harness pairs it with lazily computed tables.
+pub fn synthetic_fat_tree_32768() -> Topology {
+    synthetic_fat_tree(128, 240, 68)
+}
+
 /// Edge switches of a fat-tree built by [`fat_tree`] — the ingress/egress
 /// candidates for DC flows.
 pub fn fat_tree_edge_switches(topo: &Topology) -> Vec<NodeId> {

@@ -9,25 +9,33 @@
 pub use p4update_analysis::Json;
 
 // ---------------------------------------------------------------------------
-// Benchmark-artifact schema (v2) and validation.
+// Benchmark-artifact schema (v3) and validation.
 
 /// Schema tag of the emitted artifact; bump on layout changes. `v2` added
 /// the mandatory top-level `thread_scaling` section, the per-system
 /// `stranded_flows` counter, and the ft4096 scale; the `analysis` section
-/// (plans/sec of the static batch verifier) is mandatory as of PR 6.
-pub const SCHEMA: &str = "p4update-bench-v2";
+/// (plans/sec of the static batch verifier) is mandatory as of PR 6. `v3`
+/// splits `thread_scaling` into `run_level` (fork-join over independent
+/// runs) and `in_run` (the windowed partitioned engine inside one run)
+/// halves and adds the mandatory `partitioning` section: the
+/// deterministic shape — partition count, conservative lookahead, window
+/// count, per-partition event counts — of a fixed-cut partitioned
+/// execution, including the parallel-only ft32768 scale in full
+/// artifacts.
+pub const SCHEMA: &str = "p4update-bench-v3";
 
 /// The systems every scale must report, in artifact order.
 pub const EXPECTED_SYSTEMS: [&str; 4] = ["p4update-sl", "p4update-dl", "ez-segway", "central"];
 
-/// Validate a benchmark artifact: schema tag (v1 artifacts — which lack
-/// `thread_scaling` — are rejected), at least `min_scales` scales with no
-/// duplicate scale entries, exactly the four expected systems per scale
-/// with no duplicates, a well-formed `thread_scaling` section, a
-/// well-formed `analysis` section (full artifacts must carry ft512 and
-/// ft4096 analysis scales), and finite, plausible numbers throughout.
-/// This is what the gate script runs against both the smoke output and
-/// the committed baseline.
+/// Validate a benchmark artifact: schema tag (superseded v1/v2 artifacts
+/// are rejected by name), at least `min_scales` scales with no duplicate
+/// scale entries, exactly the four expected systems per scale with no
+/// duplicates, a well-formed two-level `thread_scaling` section, a
+/// well-formed mandatory `partitioning` section (full artifacts must
+/// carry the ft4096 and ft32768 entries), a well-formed `analysis`
+/// section (full artifacts must carry ft512 and ft4096 analysis scales),
+/// and finite, plausible numbers throughout. This is what the gate
+/// script runs against both the smoke output and the committed baseline.
 pub fn validate_report(doc: &Json, min_scales: usize) -> Result<(), String> {
     match doc.get("schema").and_then(Json::as_str) {
         Some(s) if s == SCHEMA => {}
@@ -37,16 +45,37 @@ pub fn validate_report(doc: &Json, min_scales: usize) -> Result<(), String> {
                  regenerate the artifact as {SCHEMA}"
             ));
         }
+        Some("p4update-bench-v2") => {
+            return Err(format!(
+                "schema p4update-bench-v2 is obsolete (flat thread_scaling, no \
+                 partitioning section); regenerate the artifact as {SCHEMA}"
+            ));
+        }
         other => return Err(format!("schema tag must be {SCHEMA:?}, got {other:?}")),
     }
     doc.get("load_factor")
         .and_then(Json::as_f64)
         .filter(|l| (0.0..=1.0).contains(l))
         .ok_or("load_factor must be in [0, 1]")?;
-    validate_thread_scaling(doc.get("thread_scaling").ok_or(
-        "missing thread_scaling section (required by p4update-bench-v2; \
-         v1 artifacts must be regenerated)",
-    )?)?;
+    let ts = doc.get("thread_scaling").ok_or(
+        "missing thread_scaling section (required since p4update-bench-v2; \
+         older artifacts must be regenerated)",
+    )?;
+    validate_run_level_scaling(
+        ts.get("run_level")
+            .ok_or("thread_scaling: missing run_level half (flat v2 layout?)")?,
+    )?;
+    validate_in_run_scaling(
+        ts.get("in_run")
+            .ok_or("thread_scaling: missing in_run half (flat v2 layout?)")?,
+    )?;
+    validate_partitioning(
+        doc.get("partitioning").ok_or(
+            "missing partitioning section (required by p4update-bench-v3; \
+             older artifacts must be regenerated)",
+        )?,
+        min_scales,
+    )?;
     validate_analysis(
         doc.get("analysis")
             .ok_or("missing analysis section (plans/sec of the static batch verifier)")?,
@@ -141,25 +170,25 @@ pub fn validate_report(doc: &Json, min_scales: usize) -> Result<(), String> {
     Ok(())
 }
 
-fn validate_thread_scaling(ts: &Json) -> Result<(), String> {
+fn validate_run_level_scaling(ts: &Json) -> Result<(), String> {
     ts.get("scale")
         .and_then(Json::as_str)
-        .ok_or("thread_scaling: missing scale")?;
+        .ok_or("thread_scaling/run_level: missing scale")?;
     ts.get("system")
         .and_then(Json::as_str)
-        .ok_or("thread_scaling: missing system")?;
+        .ok_or("thread_scaling/run_level: missing system")?;
     for key in ["runs", "parallelism_available"] {
         ts.get(key)
             .and_then(Json::as_f64)
             .filter(|&v| v.is_finite() && v >= 1.0)
-            .ok_or_else(|| format!("thread_scaling: {key} must be ≥ 1"))?;
+            .ok_or_else(|| format!("thread_scaling/run_level: {key} must be ≥ 1"))?;
     }
     let points = ts
         .get("points")
         .and_then(Json::as_arr)
-        .ok_or("thread_scaling: missing points array")?;
+        .ok_or("thread_scaling/run_level: missing points array")?;
     if points.is_empty() {
-        return Err("thread_scaling: points must be non-empty".into());
+        return Err("thread_scaling/run_level: points must be non-empty".into());
     }
     let mut last_threads = 0.0;
     for p in points {
@@ -167,16 +196,158 @@ fn validate_thread_scaling(ts: &Json) -> Result<(), String> {
             .get("threads")
             .and_then(Json::as_f64)
             .filter(|&v| v.is_finite() && v >= 1.0)
-            .ok_or("thread_scaling: point missing threads")?;
+            .ok_or("thread_scaling/run_level: point missing threads")?;
         if threads <= last_threads {
-            return Err("thread_scaling: points must have increasing thread counts".into());
+            return Err(
+                "thread_scaling/run_level: points must have increasing thread counts".into(),
+            );
         }
         last_threads = threads;
         for key in ["wall_secs", "speedup"] {
             p.get(key)
                 .and_then(Json::as_f64)
                 .filter(|&v| v.is_finite() && v > 0.0)
-                .ok_or_else(|| format!("thread_scaling: point {key} must be positive"))?;
+                .ok_or_else(|| format!("thread_scaling/run_level: point {key} must be positive"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Validate the `in_run` half: points climb in (partitions, threads)
+/// lexicographic order and carry positive wall/speedup numbers. Speedup
+/// is *not* required to exceed 1 — on a single-core machine it honestly
+/// won't, and `parallelism_available` is right there for the reader to
+/// judge the numbers against.
+fn validate_in_run_scaling(ts: &Json) -> Result<(), String> {
+    ts.get("scale")
+        .and_then(Json::as_str)
+        .ok_or("thread_scaling/in_run: missing scale")?;
+    ts.get("system")
+        .and_then(Json::as_str)
+        .ok_or("thread_scaling/in_run: missing system")?;
+    for key in ["events", "parallelism_available"] {
+        ts.get(key)
+            .and_then(Json::as_f64)
+            .filter(|&v| v.is_finite() && v >= 1.0)
+            .ok_or_else(|| format!("thread_scaling/in_run: {key} must be ≥ 1"))?;
+    }
+    let points = ts
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("thread_scaling/in_run: missing points array")?;
+    if points.is_empty() {
+        return Err("thread_scaling/in_run: points must be non-empty".into());
+    }
+    let mut last = (0.0, 0.0);
+    for p in points {
+        let mut pt = (0.0, 0.0);
+        for (key, slot) in [("partitions", &mut pt.0), ("threads", &mut pt.1)] {
+            *slot = p
+                .get(key)
+                .and_then(Json::as_f64)
+                .filter(|&v| v.is_finite() && v >= 1.0)
+                .ok_or_else(|| format!("thread_scaling/in_run: point {key} must be ≥ 1"))?;
+        }
+        if pt <= last {
+            return Err("thread_scaling/in_run: points must climb in (partitions, threads)".into());
+        }
+        last = pt;
+        for key in ["wall_secs", "speedup"] {
+            p.get(key)
+                .and_then(Json::as_f64)
+                .filter(|&v| v.is_finite() && v > 0.0)
+                .ok_or_else(|| format!("thread_scaling/in_run: point {key} must be positive"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Validate the mandatory `partitioning` section: per-scale entries of
+/// the fixed-cut partitioned execution. The per-partition event counts
+/// must be one per switch partition plus one controller shard and must
+/// add up exactly to the entry's event total — the section *is* the
+/// determinism claim in artifact form, so the arithmetic has to close.
+/// Full artifacts (`min_scales ≥ 4`) must report ft4096 and the
+/// parallel-only ft32768.
+fn validate_partitioning(section: &Json, min_scales: usize) -> Result<(), String> {
+    let scales = section
+        .get("scales")
+        .and_then(Json::as_arr)
+        .ok_or("partitioning: missing scales array")?;
+    if scales.is_empty() {
+        return Err("partitioning: scales must be non-empty".into());
+    }
+    let mut names: Vec<&str> = Vec::new();
+    for entry in scales {
+        let name = entry
+            .get("scale")
+            .and_then(Json::as_str)
+            .ok_or("partitioning: scale missing name")?;
+        if names.contains(&name) {
+            return Err(format!("partitioning: duplicate scale entry {name:?}"));
+        }
+        names.push(name);
+        for key in ["nodes", "flows", "windows", "events"] {
+            entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .filter(|&v| v.is_finite() && v >= 1.0)
+                .ok_or_else(|| format!("partitioning/{name}: {key} must be ≥ 1"))?;
+        }
+        let partitions = entry
+            .get("partitions")
+            .and_then(Json::as_f64)
+            .filter(|&v| v.is_finite() && v >= 1.0)
+            .ok_or_else(|| format!("partitioning/{name}: partitions must be ≥ 1"))?;
+        entry
+            .get("lookahead_ms")
+            .and_then(Json::as_f64)
+            .filter(|&v| v.is_finite() && v > 0.0)
+            .ok_or_else(|| format!("partitioning/{name}: lookahead_ms must be positive"))?;
+        let per = entry
+            .get("per_partition_events")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("partitioning/{name}: missing per_partition_events"))?;
+        if per.len() != partitions as usize + 1 {
+            return Err(format!(
+                "partitioning/{name}: per_partition_events must have {} entries \
+                 ({partitions} partitions + controller shard), found {}",
+                partitions as usize + 1,
+                per.len()
+            ));
+        }
+        let mut sum = 0.0;
+        for v in per {
+            sum += v
+                .as_f64()
+                .filter(|&v| v.is_finite() && v >= 0.0)
+                .ok_or_else(|| {
+                    format!("partitioning/{name}: per_partition_events entries must be ≥ 0")
+                })?;
+        }
+        let events = entry.get("events").and_then(Json::as_f64).unwrap_or(0.0);
+        if sum != events {
+            return Err(format!(
+                "partitioning/{name}: per_partition_events sum {sum} ≠ events {events}"
+            ));
+        }
+        // Wall-clock fields are optional (the ft32768 entry carries them;
+        // strip_timing removes them) but must be positive when present.
+        for key in ["wall_secs", "events_per_sec"] {
+            if let Some(v) = entry.get(key) {
+                v.as_f64()
+                    .filter(|&v| v.is_finite() && v > 0.0)
+                    .ok_or_else(|| format!("partitioning/{name}: {key} must be positive"))?;
+            }
+        }
+    }
+    if min_scales >= 4 {
+        for required in ["ft4096", "ft32768"] {
+            if !names.contains(&required) {
+                return Err(format!(
+                    "partitioning: full artifacts must report scale {required:?}"
+                ));
+            }
         }
     }
     Ok(())
@@ -278,13 +449,16 @@ fn validate_analysis(section: &Json, min_scales: usize) -> Result<(), String> {
 }
 
 /// A copy of the artifact with every wall-clock-derived field removed:
-/// per-system `wall_secs` and `events_per_sec`, and the whole
-/// `thread_scaling` and `analysis` sections (both report throughput).
-/// What remains — event counts, queue depths, completion percentiles,
-/// stranding — is a pure function of (workload, seed), so two runs of the
-/// same build must emit byte-identical stripped artifacts *regardless of
-/// thread count*; the gate script enforces exactly that for `--threads 1`
-/// vs `--threads 4`. (Lint-output byte-equality across worker counts is
+/// per-system `wall_secs` and `events_per_sec`, the same fields inside
+/// `partitioning` entries, and the whole `thread_scaling` and `analysis`
+/// sections (both report throughput). The `partitioning` section itself
+/// *stays* — partition count, lookahead, window count and per-partition
+/// event counts are pure functions of (workload, seed, cut), probed at a
+/// fixed cut, so they are part of the determinism contract. What remains
+/// must be byte-identical for two runs of the same build *regardless of
+/// thread count or `--partitions`*; the gate script enforces exactly
+/// that for `--threads 1` vs `--threads 4` and for `--partitions 1` vs
+/// `--partitions 4`. (Lint-output byte-equality across worker counts is
 /// enforced separately on `p4update_lint --dataset` output.)
 pub fn strip_timing(doc: &Json) -> Json {
     fn strip_system(sys: &Json) -> Json {
@@ -294,6 +468,29 @@ pub fn strip_timing(doc: &Json) -> Json {
                     .iter()
                     .filter(|(k, _)| k != "wall_secs" && k != "events_per_sec")
                     .cloned()
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+    fn strip_partitioning(section: &Json) -> Json {
+        match section {
+            Json::Obj(members) => Json::Obj(
+                members
+                    .iter()
+                    .map(|(k, v)| {
+                        let v = if k == "scales" {
+                            match v {
+                                Json::Arr(items) => {
+                                    Json::Arr(items.iter().map(strip_system).collect())
+                                }
+                                other => other.clone(),
+                            }
+                        } else {
+                            v.clone()
+                        };
+                        (k.clone(), v)
+                    })
                     .collect(),
             ),
             other => other.clone(),
@@ -333,6 +530,8 @@ pub fn strip_timing(doc: &Json) -> Json {
                             Json::Arr(items) => Json::Arr(items.iter().map(strip_scale).collect()),
                             other => other.clone(),
                         }
+                    } else if k == "partitioning" {
+                        strip_partitioning(v)
                     } else {
                         v.clone()
                     };

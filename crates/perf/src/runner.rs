@@ -12,9 +12,10 @@ use crate::json::{Json, EXPECTED_SYSTEMS, SCHEMA};
 use crate::workload::bench_workload;
 use p4update_core::Strategy;
 use p4update_des::{Samples, SimDuration, SimTime};
-use p4update_net::{topologies, FlowId, Topology};
+use p4update_net::{topologies, FlowId, FlowUpdate, Path, PodPartitioner, Topology};
 use p4update_sim::{
-    simulation, Event, NetworkSim, PathTables, SimConfig, StreamingMetrics, System, TimingConfig,
+    simulation, Event, NetworkSim, PartitionedSim, PathTables, SimConfig, StreamingMetrics, System,
+    TimingConfig,
 };
 use p4update_traffic::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -186,19 +187,17 @@ where
     indexed.into_iter().map(|(_, t)| t).collect()
 }
 
-/// Run one (topology, system) cell for one seed. A flow missing from the
-/// completion-time list failed to finish inside the horizon (ez-Segway
-/// can strand flows under contention); such flows are recorded as
-/// stranded. Workload and path-table construction happen outside the
-/// timed section; `wall` covers only the event loop.
-fn run_once(
+/// Assemble a bench world: initial paths installed, the whole workload
+/// queued as one batch. Shared by the sequential and partitioned run
+/// paths so both engines see byte-identical starting states.
+fn build_world(
     topo: &Topology,
     tables: &Arc<PathTables>,
     workload: &Workload,
     timing: TimingConfig,
     system: System,
     seed: u64,
-) -> RunMeasure {
+) -> (NetworkSim, usize) {
     let config = SimConfig::new(timing, seed).with_analysis_gate(false);
     let mut world = NetworkSim::with_path_tables(
         topo.clone(),
@@ -214,14 +213,56 @@ fn run_once(
         }
     }
     let batch = world.add_batch(workload.updates.clone());
-    let mut sim = simulation(world);
-    sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
-    let start = std::time::Instant::now();
-    let _ = sim.run_until(SimTime::ZERO + SimDuration::from_secs(600));
-    let wall = start.elapsed();
-    let events = sim.events_delivered();
-    let peak = sim.peak_queue_depth();
-    let mut world = sim.into_world();
+    (world, batch)
+}
+
+/// The bench event-loop horizon.
+fn horizon() -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(600)
+}
+
+/// Run one (topology, system) cell for one seed. A flow missing from the
+/// completion-time list failed to finish inside the horizon (ez-Segway
+/// can strand flows under contention); such flows are recorded as
+/// stranded. Workload and path-table construction happen outside the
+/// timed section; `wall` covers only the event loop.
+///
+/// With `partitions > 1` the run goes through the windowed
+/// [`PartitionedSim`] engine (pod-partitioned, single in-run worker —
+/// run-level parallelism owns the cores here); the engine's
+/// byte-identical-merge guarantee means every measured field except
+/// `wall` is the same either way, which
+/// `partition_count_does_not_change_the_canonical_artifact` pins.
+fn run_once(
+    topo: &Topology,
+    tables: &Arc<PathTables>,
+    workload: &Workload,
+    timing: TimingConfig,
+    system: System,
+    seed: u64,
+    partitions: usize,
+) -> RunMeasure {
+    let (world, batch) = build_world(topo, tables, workload, timing, system, seed);
+    let (events, peak, mut world, wall) = if partitions > 1 {
+        let part = PodPartitioner::new(topo, partitions);
+        let mut sim = PartitionedSim::new(world, &part, 1)
+            .expect("bench configs satisfy the partitioned-engine preconditions");
+        sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        let start = std::time::Instant::now();
+        sim.run_until(horizon())
+            .expect("pod cut violated its own lookahead");
+        let wall = start.elapsed();
+        let (events, peak) = (sim.events_delivered(), sim.peak_queue_depth());
+        (events, peak, sim.into_world(), wall)
+    } else {
+        let mut sim = simulation(world);
+        sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        let start = std::time::Instant::now();
+        let _ = sim.run_until(horizon());
+        let wall = start.elapsed();
+        let (events, peak) = (sim.events_delivered(), sim.peak_queue_depth());
+        (events, peak, sim.into_world(), wall)
+    };
     let stranded = world.record_stranded_flows().len() as u64;
     let flows: Vec<FlowId> = workload.updates.iter().map(|u| u.flow).collect();
     let mut fct_ms = Vec::with_capacity(flows.len());
@@ -250,7 +291,7 @@ fn run_once(
 /// over `threads` workers. Path tables are computed once per topology
 /// and workloads once per seed (both system-independent), then shared
 /// read-only across the pool.
-pub fn run_scale(scale: &Scale, runs: u64, threads: usize) -> ScaleResult {
+pub fn run_scale(scale: &Scale, runs: u64, threads: usize, partitions: usize) -> ScaleResult {
     let topo = (scale.build)();
     let timing = (scale.timing)(&topo);
     let tables = Arc::new(PathTables::compute(&topo));
@@ -271,6 +312,7 @@ pub fn run_scale(scale: &Scale, runs: u64, threads: usize) -> ScaleResult {
             timing,
             grid[sys_idx].1,
             1 + seed_idx as u64,
+            partitions,
         )
     });
     let mut results = Vec::new();
@@ -312,13 +354,20 @@ pub fn run_scale(scale: &Scale, runs: u64, threads: usize) -> ScaleResult {
     }
 }
 
+fn parallelism_available() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
+}
+
 /// Measure run-level thread scaling: the same (scale, system, seeds)
 /// cell timed end to end at 1, 2 and 4 workers. Wall times are
 /// inherently machine-dependent (and meaningless on a single-core box —
 /// `parallelism_available` records what the machine offered), which is
-/// why [`crate::json::strip_timing`] drops this whole section from the
-/// canonical artifact.
-fn thread_scaling_probe(smoke: bool) -> Json {
+/// why [`crate::json::strip_timing`] drops the whole `thread_scaling`
+/// section from the canonical artifact. Emitted as the `run_level` half
+/// of that section, next to [`in_run_scaling_probe`]'s `in_run` half.
+fn run_level_scaling_probe(smoke: bool) -> Json {
     let all = scales();
     // ft64 for the baseline, fig1 for CI smoke — big enough to amortize
     // thread spawn, small enough to run three times over.
@@ -341,6 +390,7 @@ fn thread_scaling_probe(smoke: bool) -> Json {
                 timing,
                 system.1,
                 1 + i as u64,
+                1,
             )
         });
         let secs = start.elapsed().as_secs_f64().max(1e-9);
@@ -353,18 +403,232 @@ fn thread_scaling_probe(smoke: bool) -> Json {
             ("speedup".into(), Json::Num(base_secs / secs)),
         ]));
     }
-    let parallelism = std::thread::available_parallelism()
-        .map(std::num::NonZero::get)
-        .unwrap_or(1);
     Json::Obj(vec![
         ("scale".into(), Json::Str(scale.name.into())),
         ("system".into(), Json::Str(system.0.into())),
         ("runs".into(), Json::Num(runs as f64)),
         (
             "parallelism_available".into(),
-            Json::Num(parallelism as f64),
+            Json::Num(parallelism_available() as f64),
         ),
         ("points".into(), Json::Arr(points)),
+    ])
+}
+
+/// Measure *in-run* scaling: one simulation of one seed through the
+/// windowed [`PartitionedSim`] engine at increasing (partitions,
+/// threads), against the single-partition single-thread run of the same
+/// world as baseline. The merged event order — and therefore every
+/// measurement except wall time — is byte-identical at every point; the
+/// only thing this probe varies is how many OS threads chew the shard
+/// windows. On a single-core machine (`parallelism_available: 1`) the
+/// honest expectation is speedup ≤ 1 — threads just interleave and pay
+/// the windowing overhead; the numbers are recorded as measured, not
+/// massaged. ft4096 for the baseline (the acceptance-scale topology),
+/// ft64 for CI smoke.
+fn in_run_scaling_probe(smoke: bool) -> Json {
+    let all = scales();
+    let scale = if smoke { &all[1] } else { &all[3] };
+    let system = systems()[1]; // dual-layer: the paper's full protocol
+    let topo = (scale.build)();
+    let timing = (scale.timing)(&topo);
+    let tables = Arc::new(PathTables::compute(&topo));
+    let workload = bench_workload(&topo, 1);
+    let mut points = Vec::new();
+    let mut base_secs = 0.0;
+    let mut base_events = 0u64;
+    for (partitions, threads) in [(1usize, 1usize), (4, 2), (4, 4)] {
+        let (world, batch) = build_world(&topo, &tables, &workload, timing, system.1, 1);
+        let part = PodPartitioner::new(&topo, partitions);
+        let mut sim = PartitionedSim::new(world, &part, threads)
+            .expect("bench configs satisfy the partitioned-engine preconditions");
+        sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        let start = std::time::Instant::now();
+        sim.run_until(horizon())
+            .expect("pod cut violated its own lookahead");
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        if points.is_empty() {
+            base_secs = secs;
+            base_events = sim.events_delivered();
+        } else {
+            assert_eq!(
+                sim.events_delivered(),
+                base_events,
+                "partitioned run diverged from its own baseline"
+            );
+        }
+        points.push(Json::Obj(vec![
+            ("partitions".into(), Json::Num(partitions as f64)),
+            ("threads".into(), Json::Num(threads as f64)),
+            ("wall_secs".into(), Json::Num(secs)),
+            ("speedup".into(), Json::Num(base_secs / secs)),
+        ]));
+    }
+    Json::Obj(vec![
+        ("scale".into(), Json::Str(scale.name.into())),
+        ("system".into(), Json::Str(system.0.into())),
+        ("events".into(), Json::Num(base_events as f64)),
+        (
+            "parallelism_available".into(),
+            Json::Num(parallelism_available() as f64),
+        ),
+        ("points".into(), Json::Arr(points)),
+    ])
+}
+
+/// One entry of the artifact's mandatory `partitioning` section: run the
+/// scale's seed-1 dual-layer workload through [`PartitionedSim`] at a
+/// *fixed* partition count and record the deterministic shape of the
+/// partitioned execution — lookahead, window count, per-shard event
+/// counts. Every field is a pure function of (topology, workload, cut),
+/// so the section is byte-identical no matter what `--partitions` or
+/// `--threads` the artifact was generated with.
+fn partition_entry(scale: &Scale, partitions: usize) -> Json {
+    let topo = (scale.build)();
+    let timing = (scale.timing)(&topo);
+    let tables = Arc::new(PathTables::compute(&topo));
+    let workload = bench_workload(&topo, 1);
+    let system = systems()[1];
+    let (world, batch) = build_world(&topo, &tables, &workload, timing, system.1, 1);
+    let part = PodPartitioner::new(&topo, partitions);
+    let mut sim = PartitionedSim::new(world, &part, 1)
+        .expect("bench configs satisfy the partitioned-engine preconditions");
+    sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+    sim.run_until(horizon())
+        .expect("pod cut violated its own lookahead");
+    let per_partition: Vec<Json> = sim
+        .shard_events()
+        .iter()
+        .map(|&n| Json::Num(n as f64))
+        .collect();
+    Json::Obj(vec![
+        ("scale".into(), Json::Str(scale.name.into())),
+        ("nodes".into(), Json::Num(topo.node_count() as f64)),
+        ("flows".into(), Json::Num(workload.updates.len() as f64)),
+        ("partitions".into(), Json::Num(sim.partitions() as f64)),
+        (
+            "lookahead_ms".into(),
+            Json::Num(sim.lookahead().as_millis_f64()),
+        ),
+        ("windows".into(), Json::Num(sim.windows() as f64)),
+        ("events".into(), Json::Num(sim.events_delivered() as f64)),
+        ("per_partition_events".into(), Json::Arr(per_partition)),
+    ])
+}
+
+/// The fixed partition count the `partitioning` section is probed at —
+/// independent of `--partitions` so the artifact is reproducible.
+const PROBE_PARTITIONS: usize = 4;
+
+/// The artifact's mandatory `partitioning` section: the deterministic
+/// execution shape of the windowed engine on ft64 (smoke) or ft4096 plus
+/// the parallel-only ft32768 scale (full).
+fn partitioning_probe(smoke: bool) -> Json {
+    let all = scales();
+    let mut entries = Vec::new();
+    if smoke {
+        entries.push(partition_entry(&all[1], PROBE_PARTITIONS));
+    } else {
+        entries.push(partition_entry(&all[3], PROBE_PARTITIONS));
+        entries.push(ft32768_probe(192));
+    }
+    Json::Obj(vec![("scales".into(), Json::Arr(entries))])
+}
+
+/// Hand-rolled cross-pod migrations for the 32768-switch fat-tree.
+///
+/// The gravity-model workload generator runs Yen's k-shortest-paths per
+/// flow — prohibitive on a 1.1M-link graph — so this derives valid
+/// old/new routes directly from the generator's wiring rules
+/// (`agg{p}_{j}` uplinks to cores `(p+j) % cores` and `(p+j+1) % cores`;
+/// pods are internally complete bipartite): flow `i` moves from
+/// `edge{i}_0 → agg{i}_1 → core{(i+1)%128} → agg{i+1}_0 → edge{i+1}_0`
+/// to the disjoint-spine `agg{i}_2 → core{(i+2)%128} → agg{i+1}_1`
+/// route. Every hop exists by construction; `install_initial_path`
+/// re-validates each path against the real topology anyway.
+fn ft32768_updates(topo: &Topology, flows: usize) -> Vec<FlowUpdate> {
+    let node = |name: String| topo.node_by_name(&name).expect("fat-tree grammar name");
+    (0..flows)
+        .map(|i| {
+            let (a, b) = (i, i + 1);
+            let old = Path::new(vec![
+                node(format!("edge{a}_0")),
+                node(format!("agg{a}_1")),
+                node(format!("core{}", (a + 1) % 128)),
+                node(format!("agg{b}_0")),
+                node(format!("edge{b}_0")),
+            ]);
+            let new = Path::new(vec![
+                node(format!("edge{a}_0")),
+                node(format!("agg{a}_2")),
+                node(format!("core{}", (a + 2) % 128)),
+                node(format!("agg{b}_1")),
+                node(format!("edge{b}_0")),
+            ]);
+            FlowUpdate::new(FlowId(i as u32), Some(old), new, 1.0)
+        })
+        .collect()
+}
+
+/// The 32768-switch scale — feasible only through the partitioned
+/// stack: dense all-pairs path tables would need ~16 GiB (the run uses
+/// [`PathTables::lazy`], and the NormalMs control model never touches a
+/// row), and the sharded windowed engine keeps per-partition state. Runs
+/// `flows` cross-pod migrations (192 for the baseline artifact; CI smoke
+/// uses fewer via `--ft32768-smoke`) under the dual-layer protocol on an
+/// 8-way pod cut and reports the same deterministic shape as
+/// [`partition_entry`] plus wall-clock throughput (which
+/// [`crate::json::strip_timing`] removes).
+pub fn ft32768_probe(flows: usize) -> Json {
+    let topo = topologies::synthetic_fat_tree_32768();
+    let tables = Arc::new(PathTables::lazy(topo.clone()));
+    let updates = ft32768_updates(&topo, flows);
+    let config = SimConfig::new(TimingConfig::fat_tree(), 1).with_analysis_gate(false);
+    let mut world = NetworkSim::with_path_tables(
+        topo.clone(),
+        systems()[1].1,
+        config,
+        None,
+        Arc::clone(&tables),
+    )
+    .with_metrics_sink(Box::new(StreamingMetrics::new()));
+    for u in &updates {
+        if let Some(old) = &u.old_path {
+            world.install_initial_path(u.flow, old, u.size);
+        }
+    }
+    let batch = world.add_batch(updates.clone());
+    let part = PodPartitioner::new(&topo, 8);
+    let mut sim = PartitionedSim::new(world, &part, 1)
+        .expect("fat-tree timing satisfies the partitioned-engine preconditions");
+    sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+    let start = std::time::Instant::now();
+    sim.run_until(horizon())
+        .expect("pod cut violated its own lookahead");
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let events = sim.events_delivered();
+    let per_partition: Vec<Json> = sim
+        .shard_events()
+        .iter()
+        .map(|&n| Json::Num(n as f64))
+        .collect();
+    Json::Obj(vec![
+        ("scale".into(), Json::Str("ft32768".into())),
+        ("nodes".into(), Json::Num(topo.node_count() as f64)),
+        ("flows".into(), Json::Num(flows as f64)),
+        ("partitions".into(), Json::Num(sim.partitions() as f64)),
+        (
+            "lookahead_ms".into(),
+            Json::Num(sim.lookahead().as_millis_f64()),
+        ),
+        ("windows".into(), Json::Num(sim.windows() as f64)),
+        ("events".into(), Json::Num(events as f64)),
+        ("per_partition_events".into(), Json::Arr(per_partition)),
+        ("wall_secs".into(), Json::Num(secs)),
+        (
+            "events_per_sec".into(),
+            Json::Num((events as f64 / secs).round()),
+        ),
     ])
 }
 
@@ -445,10 +709,12 @@ fn analysis_probe(smoke: bool) -> Json {
     Json::Obj(vec![("scales".into(), Json::Arr(entries))])
 }
 
-/// Run the whole benchmark on `threads` workers. `smoke` restricts to
-/// the small scales and seed counts (< 10 s wall) for CI; the full run
-/// regenerates the committed baseline.
-pub fn run_bench(smoke: bool, threads: usize) -> Json {
+/// Run the whole benchmark on `threads` workers, with each grid run
+/// going through the partitioned engine when `partitions > 1` (the
+/// canonical timing-stripped artifact is byte-identical either way).
+/// `smoke` restricts to the small scales and seed counts (< 10 s wall)
+/// for CI; the full run regenerates the committed baseline.
+pub fn run_bench(smoke: bool, threads: usize, partitions: usize) -> Json {
     let mut scale_values = Vec::new();
     for scale in &scales() {
         let runs = if smoke {
@@ -459,16 +725,21 @@ pub fn run_bench(smoke: bool, threads: usize) -> Json {
         if runs == 0 {
             continue;
         }
-        let result = run_scale(scale, runs, threads);
+        let result = run_scale(scale, runs, threads, partitions);
         scale_values.push(scale_to_json(&result));
     }
-    let scaling = thread_scaling_probe(smoke);
+    let scaling = Json::Obj(vec![
+        ("run_level".into(), run_level_scaling_probe(smoke)),
+        ("in_run".into(), in_run_scaling_probe(smoke)),
+    ]);
+    let partitioning = partitioning_probe(smoke);
     let analysis = analysis_probe(smoke);
     Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
         ("load_factor".into(), Json::Num(LOAD_FACTOR)),
         ("smoke".into(), Json::Bool(smoke)),
         ("thread_scaling".into(), scaling),
+        ("partitioning".into(), partitioning),
         ("analysis".into(), analysis),
         ("scales".into(), Json::Arr(scale_values)),
     ])
@@ -523,7 +794,7 @@ mod tests {
     #[test]
     fn fig1_cell_runs_for_every_system() {
         let scale = &scales()[0];
-        let result = run_scale(scale, 1, 1);
+        let result = run_scale(scale, 1, 1, 1);
         assert_eq!(result.nodes, 8);
         assert_eq!(result.systems.len(), 4);
         for s in &result.systems {
@@ -541,7 +812,7 @@ mod tests {
 
     #[test]
     fn smoke_report_validates() {
-        let report = run_bench(true, 1);
+        let report = run_bench(true, 1, 1);
         validate_report(&report, 1).unwrap();
         // Smoke mode must not claim full-scale coverage.
         assert!(validate_report(&report, 4).is_err());
@@ -552,9 +823,19 @@ mod tests {
     /// four.
     #[test]
     fn thread_count_does_not_change_the_canonical_artifact() {
-        let serial = strip_timing(&run_bench(true, 1)).to_string_pretty();
-        let sharded = strip_timing(&run_bench(true, 4)).to_string_pretty();
+        let serial = strip_timing(&run_bench(true, 1, 1)).to_string_pretty();
+        let sharded = strip_timing(&run_bench(true, 4, 1)).to_string_pretty();
         assert_eq!(serial, sharded);
+    }
+
+    /// The in-run twin of the claim above: routing every grid run
+    /// through the 4-way partitioned engine leaves the canonical
+    /// artifact byte-identical to the sequential one.
+    #[test]
+    fn partition_count_does_not_change_the_canonical_artifact() {
+        let sequential = strip_timing(&run_bench(true, 1, 1)).to_string_pretty();
+        let partitioned = strip_timing(&run_bench(true, 1, 4)).to_string_pretty();
+        assert_eq!(sequential, partitioned);
     }
 
     /// `parallel_map` preserves input order for every thread count,
@@ -570,11 +851,11 @@ mod tests {
 
     #[test]
     fn validation_rejects_tampered_reports() {
-        let report = run_bench(true, 1);
+        let report = run_bench(true, 1, 1);
         let text = report.to_string_pretty();
         validate_report(&Json::parse(&text).unwrap(), 1).unwrap();
 
-        let broken = text.replace("p4update-bench-v2", "other-schema");
+        let broken = text.replace("p4update-bench-v3", "other-schema");
         assert!(validate_report(&Json::parse(&broken).unwrap(), 1).is_err());
 
         let broken = text.replace("\"ez-segway\"", "\"renamed\"");
@@ -584,24 +865,48 @@ mod tests {
         assert!(validate_report(&Json::parse(&broken).unwrap(), 1).is_err());
     }
 
-    /// A v1 artifact (no `thread_scaling`, no per-system
-    /// `stranded_flows`) must be rejected, with the schema tag named in
-    /// the error.
+    /// Superseded schema tags (v1: no `thread_scaling`; v2: flat
+    /// `thread_scaling`, no `partitioning` section) must both be
+    /// rejected, with the offending tag named in the error.
     #[test]
-    fn validation_rejects_v1_artifacts() {
-        let report = run_bench(true, 1);
-        let text = report
-            .to_string_pretty()
-            .replace("p4update-bench-v2", "p4update-bench-v1");
-        let err = validate_report(&Json::parse(&text).unwrap(), 1).unwrap_err();
-        assert!(err.contains("p4update-bench-v1"), "unhelpful error: {err}");
+    fn validation_rejects_superseded_schemas() {
+        let report = run_bench(true, 1, 1);
+        for old in ["p4update-bench-v1", "p4update-bench-v2"] {
+            let text = report.to_string_pretty().replace("p4update-bench-v3", old);
+            let err = validate_report(&Json::parse(&text).unwrap(), 1).unwrap_err();
+            assert!(err.contains(old), "unhelpful error: {err}");
+        }
+    }
+
+    /// The `partitioning` section is mandatory in v3 and its per-shard
+    /// event counts must add up to the entry's event total.
+    #[test]
+    fn validation_checks_the_partitioning_section() {
+        let report = run_bench(true, 1, 1);
+        let mut stripped = report.clone();
+        if let Json::Obj(members) = &mut stripped {
+            members.retain(|(k, _)| k != "partitioning");
+        }
+        let err = validate_report(&stripped, 1).unwrap_err();
+        assert!(err.contains("partitioning"), "unhelpful error: {err}");
+
+        let text = report.to_string_pretty();
+        let broken = text.replace(
+            "\"per_partition_events\": [",
+            "\"per_partition_events\": [999, ",
+        );
+        let err = validate_report(&Json::parse(&broken).unwrap(), 1).unwrap_err();
+        assert!(
+            err.contains("per_partition_events"),
+            "unhelpful error: {err}"
+        );
     }
 
     /// Duplicate scale entries and duplicate system entries are both
     /// rejected even when every individual entry would validate.
     #[test]
     fn validation_rejects_duplicate_scales_and_systems() {
-        let report = run_bench(true, 1);
+        let report = run_bench(true, 1, 1);
 
         let mut dup_scale = report.clone();
         if let Json::Obj(members) = &mut dup_scale {

@@ -13,6 +13,7 @@ pub mod checker;
 pub mod config;
 pub mod metrics;
 pub mod network;
+pub mod partition;
 pub mod table;
 
 pub use checker::{check, FlowSpec, Violation};
@@ -21,4 +22,5 @@ pub use config::{
 };
 pub use metrics::{Metrics, MetricsCounts, MetricsSink, NullMetrics, StreamingMetrics};
 pub use network::{simulation, ControllerImpl, Event, GateStats, NetworkSim, PathTables, System};
+pub use partition::{event_router, LookaheadViolation, PartitionedSim};
 pub use table::SwitchTable;

@@ -18,7 +18,7 @@ use p4update_des::{ChoiceKind, Scheduler, SimDuration, SimRng, SimTime, Simulati
 use p4update_messages::{DataPacket, Message};
 use p4update_net::{latency_distances_from, FlowId, FlowUpdate, NodeId, Path, Topology, Version};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// All-pairs shortest-path tables (latency and hop count) for a topology.
 ///
@@ -28,45 +28,133 @@ use std::sync::Arc;
 /// per topology and shares them (`Arc`) across every run — and across the
 /// parallel runner's worker threads. The numbers are bit-identical to a
 /// per-run computation, so sharing cannot perturb determinism.
+///
+/// Two storage strategies exist behind one query interface:
+///
+/// - [`PathTables::compute`]: dense all-pairs matrices. Exact and O(1) per
+///   query, but O(n²) memory — at 32768 nodes that is ~16 GiB, which is
+///   what makes the hyper-scale topology infeasible with dense tables.
+/// - [`PathTables::lazy`]: rows are computed on first use and memoized.
+///   DC-style timing barely consults the tables (data forwarding is
+///   link-local and `ControlLatency::NormalMs` never reads them), so the
+///   working set stays tiny even at 32768 switches. Row values are the
+///   same Dijkstra/BFS results the dense path produces, so queries are
+///   bit-identical between the two strategies.
 pub struct PathTables {
-    /// Latency (ms) of the shortest path between every node pair.
-    sp_latency_ms: Vec<Vec<f64>>,
-    /// Hop count of the latency-shortest path between every node pair.
-    sp_hops: Vec<Vec<u32>>,
+    inner: TablesInner,
+}
+
+/// One memoized row: per-destination latencies and hop counts from a
+/// single source node.
+type PathRow = Arc<(Vec<f64>, Vec<u32>)>;
+
+enum TablesInner {
+    Dense {
+        /// Latency (ms) of the shortest path between every node pair.
+        sp_latency_ms: Vec<Vec<f64>>,
+        /// Hop count of the latency-shortest path between every node pair.
+        sp_hops: Vec<Vec<u32>>,
+    },
+    Lazy {
+        topo: Topology,
+        /// Memoized rows by source node (interior mutability so shared
+        /// `Arc<PathTables>` handles can fill the cache; a poisoned lock
+        /// can only come from a panic mid-row, which aborts the run
+        /// anyway).
+        rows: Mutex<BTreeMap<u32, PathRow>>,
+    },
+}
+
+fn path_row(topo: &Topology, v: NodeId) -> (Vec<f64>, Vec<u32>) {
+    let n = topo.node_count();
+    let lat = latency_distances_from(topo, v);
+    // Hop counts via BFS (good enough for relay cost estimation).
+    let mut hops = vec![u32::MAX; n];
+    hops[v.index()] = 0;
+    let mut queue = std::collections::VecDeque::from([v]);
+    while let Some(x) = queue.pop_front() {
+        for &(y, _) in topo.neighbors(x) {
+            if hops[y.index()] == u32::MAX {
+                hops[y.index()] = hops[x.index()] + 1;
+                queue.push_back(y);
+            }
+        }
+    }
+    (lat, hops)
 }
 
 impl PathTables {
-    /// Compute the tables for `topo` (Dijkstra per node for latencies,
+    /// Compute dense tables for `topo` (Dijkstra per node for latencies,
     /// BFS per node for hop counts).
     pub fn compute(topo: &Topology) -> Self {
         let n = topo.node_count();
         let mut sp_latency_ms = Vec::with_capacity(n);
         let mut sp_hops = Vec::with_capacity(n);
         for v in topo.node_ids() {
-            sp_latency_ms.push(latency_distances_from(topo, v));
-            // Hop counts via BFS (good enough for relay cost estimation).
-            let mut hops = vec![u32::MAX; n];
-            hops[v.index()] = 0;
-            let mut queue = std::collections::VecDeque::from([v]);
-            while let Some(x) = queue.pop_front() {
-                for &(y, _) in topo.neighbors(x) {
-                    if hops[y.index()] == u32::MAX {
-                        hops[y.index()] = hops[x.index()] + 1;
-                        queue.push_back(y);
-                    }
-                }
-            }
+            let (lat, hops) = path_row(topo, v);
+            sp_latency_ms.push(lat);
             sp_hops.push(hops);
         }
         PathTables {
-            sp_latency_ms,
-            sp_hops,
+            inner: TablesInner::Dense {
+                sp_latency_ms,
+                sp_hops,
+            },
+        }
+    }
+
+    /// Lazily-computed tables over `topo`: rows materialize on first query
+    /// and are memoized. This is what makes `synthetic_fat_tree_32768`
+    /// runnable at all — see the type-level docs.
+    pub fn lazy(topo: Topology) -> Self {
+        PathTables {
+            inner: TablesInner::Lazy {
+                topo,
+                rows: Mutex::new(BTreeMap::new()),
+            },
+        }
+    }
+
+    fn row(topo: &Topology, rows: &Mutex<BTreeMap<u32, PathRow>>, from: NodeId) -> PathRow {
+        let mut cache = rows.lock().expect("path-table cache lock");
+        cache
+            .entry(from.index() as u32)
+            .or_insert_with(|| Arc::new(path_row(topo, from)))
+            .clone()
+    }
+
+    /// Shortest-path latency (ms) from `from` to `to`.
+    pub fn latency_ms(&self, from: NodeId, to: NodeId) -> f64 {
+        match &self.inner {
+            TablesInner::Dense { sp_latency_ms, .. } => sp_latency_ms[from.index()][to.index()],
+            TablesInner::Lazy { topo, rows } => Self::row(topo, rows, from).0[to.index()],
+        }
+    }
+
+    /// Hop count of the latency-shortest path from `from` to `to`.
+    pub fn hops(&self, from: NodeId, to: NodeId) -> u32 {
+        match &self.inner {
+            TablesInner::Dense { sp_hops, .. } => sp_hops[from.index()][to.index()],
+            TablesInner::Lazy { topo, rows } => Self::row(topo, rows, from).1[to.index()],
+        }
+    }
+
+    /// Number of rows materialized so far (= node count for dense tables).
+    /// The hyper-scale smoke test asserts this stays far below the node
+    /// count, i.e. that lazy tables actually avoid the O(n²) bill.
+    pub fn rows_materialized(&self) -> usize {
+        match &self.inner {
+            TablesInner::Dense { sp_latency_ms, .. } => sp_latency_ms.len(),
+            TablesInner::Lazy { rows, .. } => rows.lock().expect("path-table cache lock").len(),
         }
     }
 
     /// Number of nodes the tables were computed for.
     pub fn node_count(&self) -> usize {
-        self.sp_latency_ms.len()
+        match &self.inner {
+            TablesInner::Dense { sp_latency_ms, .. } => sp_latency_ms.len(),
+            TablesInner::Lazy { topo, .. } => topo.node_count(),
+        }
     }
 }
 
@@ -101,7 +189,7 @@ pub enum ControllerImpl {
 }
 
 impl ControllerImpl {
-    fn as_logic(&mut self) -> &mut dyn ControllerLogic {
+    pub(crate) fn as_logic(&mut self) -> &mut dyn ControllerLogic {
         match self {
             ControllerImpl::P4(c) => c,
             ControllerImpl::Ez(c) => c,
@@ -141,6 +229,23 @@ pub enum Event {
         from: NodeId,
         /// Payload.
         msg: Message,
+    },
+    /// A switch→controller message crosses into the controller's ingress
+    /// domain (only under [`ControlLatency::NormalMs`]): it left `from` at
+    /// `sent_at` and this event fires at `sent_at + floor_ms`, where the
+    /// *controller side* draws the actual latency and schedules the
+    /// [`Event::DeliverToController`]. Relocating the draw makes all RNG
+    /// consumption controller-local, which is what lets the partitioned
+    /// engine reproduce the sequential stream exactly.
+    CtrlIngress {
+        /// Sending switch.
+        from: NodeId,
+        /// Payload.
+        msg: Message,
+        /// When the message left the switch.
+        sent_at: SimTime,
+        /// Extra adversarial delay (fault-choice `Delay`/`Duplicate`).
+        extra: SimDuration,
     },
     /// The controller finishes processing one queued message.
     ControllerExec {
@@ -183,31 +288,35 @@ pub enum Event {
 }
 
 /// The simulated network world.
+///
+/// Fields the partitioned engine (`crate::partition`) splits across shards
+/// are `pub(crate)`: it dismantles a `NetworkSim` into per-partition state,
+/// runs the window loop, and reassembles an equivalent world.
 pub struct NetworkSim {
-    topo: Topology,
+    pub(crate) topo: Topology,
     /// Per-switch chassis, densely indexed by [`NodeId`].
     pub switches: SwitchTable,
     /// The controller.
     pub controller: ControllerImpl,
-    config: SimConfig,
-    rng: SimRng,
+    pub(crate) config: SimConfig,
+    pub(crate) rng: SimRng,
     /// Shared all-pairs shortest-path tables (see [`PathTables`]).
-    tables: Arc<PathTables>,
+    pub(crate) tables: Arc<PathTables>,
     /// Serial-processing horizon per switch, indexed by `NodeId::index`.
-    switch_busy: Vec<SimTime>,
+    pub(crate) switch_busy: Vec<SimTime>,
     /// Whether each switch has an armed resubmission poll loop.
-    polling: Vec<bool>,
+    pub(crate) polling: Vec<bool>,
     /// Serial-processing horizon of the controller.
-    ctrl_busy: SimTime,
+    pub(crate) ctrl_busy: SimTime,
     /// Update batches by trigger index.
-    batches: Vec<Vec<FlowUpdate>>,
+    pub(crate) batches: Vec<Vec<FlowUpdate>>,
     /// Flow specs for the checker and metrics.
     pub flows: BTreeMap<FlowId, FlowSpec>,
     /// Where measurements go; defaults to the full-recording [`Metrics`].
-    sink: Box<dyn MetricsSink>,
+    pub(crate) sink: Box<dyn MetricsSink>,
     /// Reusable effect buffer: taken at the top of each hot event arm and
     /// put back cleared, so the event loop allocates nothing per event.
-    scratch: Vec<Effect>,
+    pub(crate) scratch: Vec<Effect>,
     /// Violations found by per-event checking (paranoid mode).
     pub violations: Vec<(SimTime, Violation)>,
     /// Findings of the static analysis gate (`SimConfig::analysis_gate`):
@@ -217,7 +326,7 @@ pub struct NetworkSim {
     /// The previous gate pass, kept so the next triggered batch is
     /// revalidated incrementally ([`BatchAnalyzer::reanalyze`]) instead of
     /// re-linted from scratch.
-    gate_cache: Option<BatchAnalysis>,
+    pub(crate) gate_cache: Option<BatchAnalysis>,
     /// Work counters of the incremental analysis gate.
     pub gate_stats: GateStats,
 }
@@ -450,9 +559,7 @@ impl NetworkSim {
     /// Control latency between the controller and `node` (one way).
     fn control_latency(&mut self, node: NodeId) -> SimDuration {
         match self.config.timing.control {
-            ControlLatency::ShortestPathFrom(ctrl) => {
-                ms(self.tables.sp_latency_ms[ctrl.index()][node.index()])
-            }
+            ControlLatency::ShortestPathFrom(ctrl) => ms(self.tables.latency_ms(ctrl, node)),
             ControlLatency::NormalMs {
                 mean,
                 std_dev,
@@ -467,8 +574,8 @@ impl NetworkSim {
         if let Some(lat) = self.topo.latency_between(from, to) {
             return lat;
         }
-        let lat = ms(self.tables.sp_latency_ms[from.index()][to.index()]);
-        let hops = self.tables.sp_hops[from.index()][to.index()].max(1);
+        let lat = ms(self.tables.latency_ms(from, to));
+        let hops = self.tables.hops(from, to).max(1);
         lat + ms(self.config.timing.relay_hop_ms).saturating_mul(hops as u64)
     }
 
@@ -546,6 +653,32 @@ impl NetworkSim {
                     }
                 }
                 Effect::SendController { msg } => {
+                    if let ControlLatency::NormalMs { floor_ms, .. } = self.config.timing.control {
+                        // The latency draw happens controller-side (see
+                        // [`Event::CtrlIngress`]); the switch only knows the
+                        // message cannot arrive before the floor. A
+                        // duplicate becomes two ingresses and therefore two
+                        // independent latency draws.
+                        let at = base + ms(floor_ms);
+                        let ingress = |extra| Event::CtrlIngress {
+                            from: node,
+                            msg: msg.clone(),
+                            sent_at: base,
+                            extra,
+                        };
+                        match self.fault_choice(sched) {
+                            FaultDecision::Drop => self.sink.record_control_drop(),
+                            FaultDecision::Deliver => {
+                                sched.schedule_at(at, ingress(SimDuration::ZERO));
+                            }
+                            FaultDecision::Delay(d) => sched.schedule_at(at, ingress(d)),
+                            FaultDecision::Duplicate(d) => {
+                                sched.schedule_at(at, ingress(SimDuration::ZERO));
+                                sched.schedule_at(at, ingress(d));
+                            }
+                        }
+                        continue;
+                    }
                     let at = base + self.control_latency(node);
                     let event = Event::DeliverToController { from: node, msg };
                     match self.fault_choice(sched) {
@@ -811,6 +944,25 @@ impl World for NetworkSim {
                 let done = start + svc;
                 self.ctrl_busy = done;
                 sched.schedule_at(done, Event::ControllerExec { from, msg });
+            }
+            Event::CtrlIngress {
+                from,
+                msg,
+                sent_at,
+                extra,
+            } => {
+                // Controller-side latency draw: the message left `from` at
+                // `sent_at`; now (= sent_at + floor) the actual normal-
+                // distributed latency is drawn and the delivery lands at
+                // `sent_at + latency (+ adversarial extra)`. The clamp in
+                // `schedule_at` is unreachable (latency ≥ floor), so the
+                // delivery time distribution matches the switch-side draw
+                // this replaces.
+                let lat = self.control_latency(from);
+                sched.schedule_at(
+                    sent_at + lat + extra,
+                    Event::DeliverToController { from, msg },
+                );
             }
             Event::ControllerExec { from, msg } => {
                 let mut out = Vec::new();

@@ -1,0 +1,1300 @@
+//! The partitioned parallel simulation engine.
+//!
+//! [`PartitionedSim`] runs a [`NetworkSim`] sharded along a
+//! [`Partitioner`]'s cut: every switch partition becomes one shard with
+//! its own event queue, switch state, and busy horizons; the controller
+//! (with its RNG, busy horizon, and batch table) becomes one extra shard.
+//! Shards advance independently inside a *conservative-lookahead window*
+//! and exchange cross-shard events at a barrier when the window closes —
+//! classic conservative parallel DES (CMB-style windows), specialized to
+//! this simulator's timing model.
+//!
+//! # Why the merged order is byte-identical to the sequential engine
+//!
+//! The sequential engine delivers events in `(time, seq)` order where
+//! `seq` is the global schedule order. The partitioned engine reproduces
+//! that exact order:
+//!
+//! 1. **Windows are causally closed.** The lookahead `L` is the minimum
+//!    over every cross-shard emission class of "how far in the future the
+//!    emission must land": switch→switch crossings pay the switch
+//!    processing time plus at least one inter-partition link
+//!    ([`min_cross_partition_latency`]); switch→controller crossings pay
+//!    processing plus the control-latency floor; controller→switch
+//!    crossings pay the controller transmit slot plus the floor. With the
+//!    window `[t_min, t_min + L)`, no shard can receive an event inside
+//!    the window from another shard, so processing shards independently
+//!    is safe. Every cross-shard emission is checked against the window
+//!    at emission time — a violation is a `debug_assert!` panic (debug)
+//!    or a [`LookaheadViolation`] error (release), never silent
+//!    corruption.
+//! 2. **Ties resolve exactly as sequentially.** Within a shard's window,
+//!    pending events are either *resolved* (carrying their final global
+//!    sequence number, assigned at a previous barrier — always smaller
+//!    than any sequence number assigned this window) or *provisional*
+//!    (emitted during this window, keyed by the shard's emission counter,
+//!    which increases in the same order the sequential engine would have
+//!    assigned sequence numbers). Popping "earliest time; resolved before
+//!    provisional; lower emission index first" therefore equals the
+//!    sequential `(time, seq)` order restricted to the shard.
+//! 3. **The barrier replays the sequential schedule.** At the window
+//!    barrier the shard-local delivery records are k-way merged in global
+//!    `(time, seq)` order and every emission is assigned the next global
+//!    sequence number in that order — exactly the number the sequential
+//!    engine's `schedule_at` would have produced. Metrics-sink effects
+//!    are buffered per delivery and replayed in the merged order, so the
+//!    sink observes the byte-identical event stream.
+//!
+//! `tests/partition_equivalence.rs` enforces this equivalence
+//! differentially at 1/2/4/8 partitions over the scenario registry.
+//!
+//! # Restrictions
+//!
+//! The parallel engine supports the deterministic fast path only; it
+//! refuses (at [`PartitionedSim::new`]) configurations that need global
+//! serialization anyway:
+//!
+//! - fault injection ([`crate::FaultConfig`] must be `NONE`) and fault
+//!   choice points (they route through the exploration chooser, which is
+//!   inherently a global sequential decision stream),
+//! - paranoid per-event checking and the analysis gate (both walk global
+//!   state between events),
+//! - stochastic install delays (`InstallDelay::ExponentialMs` draws from
+//!   the shared RNG at switch side; the supported `InstallDelay::None`
+//!   keeps every RNG consumer on the controller shard — see
+//!   [`Event::CtrlIngress`]),
+//! - event budgets (a budget can expire mid-window; the sequential engine
+//!   remains the tool for livelock hunting).
+
+use crate::checker::{FlowSpec, Violation};
+use crate::config::{ms, ControlLatency, FaultConfig, InstallDelay, SimConfig};
+use crate::metrics::MetricsSink;
+use crate::network::{ControllerImpl, Event, GateStats, NetworkSim, PathTables};
+use crate::table::SwitchTable;
+use p4update_analysis::{BatchAnalysis, Diagnostic};
+use p4update_dataplane::{CtrlEffect, DropReason, Effect, Endpoint, Switch};
+use p4update_des::{
+    CalendarQueue, EventQueue, HeapQueue, QueueBackend, RunOutcome, SimDuration, SimRng, SimTime,
+};
+use p4update_messages::{DataPacket, Message, RejectReason};
+use p4update_net::{
+    min_cross_partition_latency, FlowId, FlowUpdate, NodeId, Partitioner, Topology, Version,
+};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
+
+/// A cross-shard event was emitted *inside* the current lookahead window
+/// — the conservative bound was violated. In debug builds this is caught
+/// by a `debug_assert!` panic at the emission site; in release builds the
+/// run aborts with this error at the next barrier. Either way the
+/// violation can never silently corrupt the merged event order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookaheadViolation {
+    /// Shard that emitted the offending event.
+    pub from_shard: usize,
+    /// Shard the event was addressed to.
+    pub to_shard: usize,
+    /// When the event was due.
+    pub at: SimTime,
+    /// End of the window that was being processed.
+    pub window_end: SimTime,
+}
+
+impl std::fmt::Display for LookaheadViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conservative lookahead violated: shard {} emitted an event for shard {} at {} inside the window ending {}",
+            self.from_shard, self.to_shard, self.at, self.window_end
+        )
+    }
+}
+
+/// How a delivery record keys into the global order.
+#[derive(Debug, Clone, Copy)]
+enum Key {
+    /// Final global sequence number (assigned at a previous barrier or at
+    /// seeding time).
+    Resolved(u64),
+    /// Emission index within the shard's current window; the barrier
+    /// resolves it to a global sequence number via the emission ledger.
+    Provisional(u32),
+}
+
+/// One delivered event, recorded shard-locally during a window: its
+/// timestamp, order key, and how many emissions / sink effects it
+/// produced (both consumed in order at the barrier).
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    at: SimTime,
+    key: Key,
+    n_emissions: u32,
+    n_ops: u32,
+}
+
+/// One `schedule_at` call made during a window, in call order.
+enum Emission {
+    /// Same-shard emission; the event itself lives in the shard's side
+    /// heap (or was already delivered sub-window). The barrier only needs
+    /// to assign its global sequence number.
+    Local { idx: u32 },
+    /// Cross-shard emission; the event is carried to the barrier and
+    /// pushed into the destination's queue with its assigned number.
+    Out {
+        dest: u32,
+        at: SimTime,
+        event: Option<Event>,
+    },
+}
+
+/// A buffered metrics-sink call; replayed in merged global order at the
+/// barrier so the sink cannot observe shard interleaving.
+#[derive(Debug, Clone, Copy)]
+enum SinkOp {
+    Arrival(SimTime, NodeId, DataPacket),
+    Delivery(SimTime, NodeId, DataPacket),
+    PacketDrop(SimTime, NodeId, DataPacket, DropReason),
+    Completion(SimTime, FlowId, Version),
+    Alarm(SimTime, FlowId, RejectReason),
+    Trigger(SimTime, usize),
+    Unm(SimTime, NodeId),
+}
+
+/// Entry of a shard's side heap: an event emitted during the current
+/// window, ordered by `(time, emission index)` — which clause 2 of the
+/// module-level argument shows is `(time, seq)` order.
+struct SideEntry {
+    at: SimTime,
+    idx: u32,
+    event: Event,
+}
+
+impl PartialEq for SideEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.idx == other.idx
+    }
+}
+impl Eq for SideEntry {}
+impl PartialOrd for SideEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SideEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.idx).cmp(&(other.at, other.idx))
+    }
+}
+
+/// Controller-shard state: everything of a [`NetworkSim`] that consumes
+/// the run's RNG or serializes on the controller.
+struct CtrlState {
+    controller: ControllerImpl,
+    rng: SimRng,
+    ctrl_busy: SimTime,
+    batches: Vec<Vec<FlowUpdate>>,
+}
+
+/// One shard: a slice of the world plus its event queue and the
+/// per-window ledgers the barrier consumes.
+struct ShardCtx {
+    id: u32,
+    ctrl_shard: u32,
+    config: SimConfig,
+    topo: Arc<Topology>,
+    tables: Arc<PathTables>,
+    /// Global node index → shard id, shared across shards.
+    assign: Arc<Vec<u32>>,
+    /// Events with resolved global sequence numbers.
+    main: Box<dyn EventQueue<Event> + Send>,
+    /// During-window emissions to this same shard, provisional keys.
+    side: BinaryHeap<Reverse<SideEntry>>,
+    /// End of the window currently being processed (exclusive).
+    window_end: SimTime,
+    /// Per-window ledgers, consumed by the barrier merge.
+    records: Vec<Record>,
+    emissions: Vec<Emission>,
+    ops: Vec<SinkOp>,
+    /// Emission counter within the current window.
+    emitted: u32,
+    /// First lookahead violation observed (release builds).
+    violation: Option<LookaheadViolation>,
+    // --- switch-shard state (empty on the controller shard) ---
+    /// Global node index → local switch index (`u32::MAX` if unowned).
+    local: Vec<u32>,
+    /// Local switch index → global node id.
+    nodes: Vec<NodeId>,
+    switches: Vec<Switch>,
+    busy: Vec<SimTime>,
+    polling: Vec<bool>,
+    scratch: Vec<Effect>,
+    // --- controller-shard state (None on switch shards) ---
+    ctrl: Option<CtrlState>,
+}
+
+fn new_queue(backend: QueueBackend) -> Box<dyn EventQueue<Event> + Send> {
+    match backend {
+        QueueBackend::Heap => Box::new(HeapQueue::new()),
+        QueueBackend::Calendar => Box::new(CalendarQueue::new()),
+    }
+}
+
+impl ShardCtx {
+    /// Earliest pending timestamp of this shard, if any.
+    fn front(&mut self) -> Option<SimTime> {
+        let main = self.main.peek_key().map(|(t, _)| t);
+        let side = self.side.peek().map(|Reverse(e)| e.at);
+        match (main, side) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Schedule an event from within a handler. `dest == self.id` keeps
+    /// the event shard-local (side heap); anything else is a cross-shard
+    /// emission, checked against the lookahead window.
+    fn emit(&mut self, dest: u32, at: SimTime, event: Event) {
+        let idx = self.emitted;
+        self.emitted += 1;
+        if dest == self.id {
+            self.emissions.push(Emission::Local { idx });
+            self.side.push(Reverse(SideEntry { at, idx, event }));
+        } else {
+            if at < self.window_end {
+                let v = LookaheadViolation {
+                    from_shard: self.id as usize,
+                    to_shard: dest as usize,
+                    at,
+                    window_end: self.window_end,
+                };
+                debug_assert!(false, "{v}");
+                if self.violation.is_none() {
+                    self.violation = Some(v);
+                }
+            }
+            self.emissions.push(Emission::Out {
+                dest,
+                at,
+                event: Some(event),
+            });
+        }
+    }
+
+    fn shard_of(&self, node: NodeId) -> u32 {
+        self.assign[node.index()]
+    }
+
+    fn local_idx(&self, node: NodeId) -> usize {
+        let l = self.local[node.index()];
+        debug_assert_ne!(
+            l,
+            u32::MAX,
+            "event routed to a shard that does not own {node:?}"
+        );
+        l as usize
+    }
+
+    /// Mirror of `NetworkSim::transit` (no RNG).
+    fn transit(&self, from: NodeId, to: NodeId) -> SimDuration {
+        if let Some(lat) = self.topo.latency_between(from, to) {
+            return lat;
+        }
+        let lat = ms(self.tables.latency_ms(from, to));
+        let hops = self.tables.hops(from, to).max(1);
+        lat + ms(self.config.timing.relay_hop_ms).saturating_mul(hops as u64)
+    }
+
+    /// Mirror of `NetworkSim::control_latency`; the normal draw consumes
+    /// the controller shard's RNG (this is only ever called there).
+    fn control_latency(&mut self, node: NodeId) -> SimDuration {
+        match self.config.timing.control {
+            ControlLatency::ShortestPathFrom(ctrl) => ms(self.tables.latency_ms(ctrl, node)),
+            ControlLatency::NormalMs {
+                mean,
+                std_dev,
+                floor_ms,
+            } => {
+                let cs = self.ctrl.as_mut().expect("latency draw off the ctrl shard");
+                ms(cs.rng.normal_clamped(mean, std_dev, floor_ms))
+            }
+        }
+    }
+
+    /// Process every pending event strictly before `self.window_end`.
+    fn run_window(&mut self) {
+        loop {
+            let main_key = self.main.peek_key();
+            let side_at = self.side.peek().map(|Reverse(e)| e.at);
+            // Resolved sequence numbers always precede this window's
+            // provisional ones, so main wins time ties.
+            let from_main = match (main_key, side_at) {
+                (None, None) => return,
+                (Some((mt, _)), Some(st)) => mt <= st,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+            };
+            let at = if from_main {
+                main_key.unwrap().0
+            } else {
+                side_at.unwrap()
+            };
+            if at >= self.window_end {
+                return;
+            }
+            let (key, event) = if from_main {
+                let (_, seq, event) = self.main.pop().expect("peeked");
+                (Key::Resolved(seq), event)
+            } else {
+                let Reverse(entry) = self.side.pop().expect("peeked");
+                (Key::Provisional(entry.idx), entry.event)
+            };
+            let e0 = self.emissions.len();
+            let o0 = self.ops.len();
+            self.handle(at, event);
+            self.records.push(Record {
+                at,
+                key,
+                n_emissions: (self.emissions.len() - e0) as u32,
+                n_ops: (self.ops.len() - o0) as u32,
+            });
+        }
+    }
+
+    /// The restricted event handler: mirrors `NetworkSim::handle` arm for
+    /// arm under the fault-free / gate-off / install-None preconditions
+    /// (checked at construction). Any divergence from the sequential
+    /// handler is a bug that `tests/partition_equivalence.rs` exists to
+    /// catch.
+    fn handle(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::DeliverToSwitch { node, from, msg } => {
+                let l = self.local_idx(node);
+                let busy = self.busy[l];
+                if busy > now {
+                    self.emit(self.id, busy, Event::DeliverToSwitch { node, from, msg });
+                    return;
+                }
+                let done = now + ms(self.config.timing.switch_proc_ms);
+                self.busy[l] = done;
+                if let Message::Data(pkt) = &msg {
+                    self.ops.push(SinkOp::Arrival(now, node, *pkt));
+                }
+                if matches!(msg, Message::Unm(_)) {
+                    self.ops.push(SinkOp::Unm(now, node));
+                }
+                let mut effects = std::mem::take(&mut self.scratch);
+                self.switches[l].handle_message_into(now, from, msg, &mut effects);
+                self.apply_switch_effects(node, done, &mut effects);
+                self.scratch = effects;
+                self.arm_poll(node, now);
+            }
+            Event::InstallComplete { node, flow, token } => {
+                let l = self.local_idx(node);
+                let busy = self.busy[l];
+                if busy > now {
+                    self.emit(self.id, busy, Event::InstallComplete { node, flow, token });
+                    return;
+                }
+                let done = now + ms(self.config.timing.switch_proc_ms);
+                self.busy[l] = done;
+                let mut effects = std::mem::take(&mut self.scratch);
+                self.switches[l].handle_installed_into(now, flow, token, &mut effects);
+                self.apply_switch_effects(node, done, &mut effects);
+                self.scratch = effects;
+                self.arm_poll(node, now);
+            }
+            Event::InjectPacket {
+                node,
+                pkt,
+                egress_hint,
+            } => {
+                let l = self.local_idx(node);
+                let busy = self.busy[l];
+                if busy > now {
+                    self.emit(
+                        self.id,
+                        busy,
+                        Event::InjectPacket {
+                            node,
+                            pkt,
+                            egress_hint,
+                        },
+                    );
+                    return;
+                }
+                let done = now + ms(self.config.timing.switch_proc_ms);
+                self.busy[l] = done;
+                self.ops.push(SinkOp::Arrival(now, node, pkt));
+                let mut effects = std::mem::take(&mut self.scratch);
+                self.switches[l].inject_packet_into(now, pkt, egress_hint, &mut effects);
+                self.apply_switch_effects(node, done, &mut effects);
+                self.scratch = effects;
+            }
+            Event::DeliverToController { from, msg } => {
+                let mean = self.config.timing.ctrl_service_mean_ms;
+                let cs = self.ctrl.as_mut().expect("ctrl event on a switch shard");
+                let start = now.max(cs.ctrl_busy);
+                let svc = ms(cs.rng.exponential(mean));
+                let done = start + svc;
+                cs.ctrl_busy = done;
+                self.emit(self.id, done, Event::ControllerExec { from, msg });
+            }
+            Event::CtrlIngress {
+                from,
+                msg,
+                sent_at,
+                extra,
+            } => {
+                let lat = self.control_latency(from);
+                // `.max(now)` mirrors the sequential `schedule_at` clamp
+                // (unreachable: latency ≥ floor and now = sent_at + floor).
+                let at = (sent_at + lat + extra).max(now);
+                self.emit(self.id, at, Event::DeliverToController { from, msg });
+            }
+            Event::ControllerExec { from, msg } => {
+                let cs = self.ctrl.as_mut().expect("ctrl event on a switch shard");
+                let mut out = Vec::new();
+                cs.controller
+                    .as_logic()
+                    .on_message(now, from, msg, &mut out);
+                self.apply_ctrl_effects(now, out);
+            }
+            Event::PollTick { node } => {
+                let l = self.local_idx(node);
+                let parked = self.switches[l].parked_messages();
+                let interval = self.config.timing.resubmit_poll_ms;
+                if parked == 0 || interval <= 0.0 {
+                    self.polling[l] = false;
+                } else {
+                    let start = now.max(self.busy[l]);
+                    let spin = ms(self.config.timing.switch_proc_ms).saturating_mul(parked as u64);
+                    let done = start + spin;
+                    self.busy[l] = done;
+                    self.emit(self.id, done + ms(interval), Event::PollTick { node });
+                }
+            }
+            Event::Trigger { batch } => {
+                self.ops.push(SinkOp::Trigger(now, batch));
+                let cs = self.ctrl.as_mut().expect("ctrl event on a switch shard");
+                let updates = cs.batches.get(batch).cloned().unwrap_or_default();
+                let base = now.max(cs.ctrl_busy);
+                let mut out = Vec::new();
+                cs.controller
+                    .as_logic()
+                    .start_update(now, &updates, &mut out);
+                self.apply_ctrl_effects(base, out);
+                if self.config.retry_ms > 0.0 {
+                    self.emit(
+                        self.id,
+                        now + ms(self.config.retry_ms),
+                        Event::ControllerTimer,
+                    );
+                }
+            }
+            Event::ControllerTimer => {
+                let cs = self.ctrl.as_mut().expect("ctrl event on a switch shard");
+                let mut out = Vec::new();
+                let keep_going = cs.controller.as_logic().on_timer(now, &mut out);
+                let base = now.max(cs.ctrl_busy);
+                self.apply_ctrl_effects(base, out);
+                if keep_going && self.config.retry_ms > 0.0 {
+                    self.emit(
+                        self.id,
+                        now + ms(self.config.retry_ms),
+                        Event::ControllerTimer,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mirror of `NetworkSim::apply_switch_effects` without the fault
+    /// branches (no fault RNG is ever consulted: the preconditions pin
+    /// drop probabilities to zero and choice points to off, which the
+    /// sequential engine short-circuits without drawing).
+    fn apply_switch_effects(&mut self, node: NodeId, base: SimTime, effects: &mut Vec<Effect>) {
+        for effect in effects.drain(..) {
+            match effect {
+                Effect::SendSwitch { to, msg } => {
+                    let at = base + self.transit(node, to);
+                    let dest = self.shard_of(to);
+                    self.emit(
+                        dest,
+                        at,
+                        Event::DeliverToSwitch {
+                            node: to,
+                            from: Endpoint::Switch(node),
+                            msg,
+                        },
+                    );
+                }
+                Effect::SendController { msg } => match self.config.timing.control {
+                    ControlLatency::NormalMs { floor_ms, .. } => {
+                        let dest = self.ctrl_shard;
+                        self.emit(
+                            dest,
+                            base + ms(floor_ms),
+                            Event::CtrlIngress {
+                                from: node,
+                                msg,
+                                sent_at: base,
+                                extra: SimDuration::ZERO,
+                            },
+                        );
+                    }
+                    ControlLatency::ShortestPathFrom(_) => {
+                        let at = base + self.control_latency(node);
+                        let dest = self.ctrl_shard;
+                        self.emit(dest, at, Event::DeliverToController { from: node, msg });
+                    }
+                },
+                Effect::BeginInstall { flow, token } => {
+                    // InstallDelay::None precondition: completes at `base`.
+                    self.emit(self.id, base, Event::InstallComplete { node, flow, token });
+                }
+                Effect::ForwardData { to, pkt } => {
+                    let at = base
+                        + self
+                            .topo
+                            .latency_between(node, to)
+                            .unwrap_or_else(|| self.transit(node, to));
+                    let dest = self.shard_of(to);
+                    self.emit(
+                        dest,
+                        at,
+                        Event::DeliverToSwitch {
+                            node: to,
+                            from: Endpoint::Switch(node),
+                            msg: Message::Data(pkt),
+                        },
+                    );
+                }
+                Effect::PacketDelivered { pkt } => {
+                    self.ops.push(SinkOp::Delivery(base, node, pkt));
+                }
+                Effect::PacketDropped { pkt, reason } => {
+                    self.ops.push(SinkOp::PacketDrop(base, node, pkt, reason));
+                }
+            }
+        }
+    }
+
+    /// Mirror of `NetworkSim::apply_ctrl_effects` without fault branches.
+    fn apply_ctrl_effects(&mut self, base: SimTime, effects: Vec<CtrlEffect>) {
+        let tx = ms(self.config.timing.ctrl_tx_ms);
+        let mut send_time = base;
+        for effect in effects {
+            match effect {
+                CtrlEffect::Send { to, msg } => {
+                    send_time += tx;
+                    let at = send_time + self.control_latency(to);
+                    let dest = self.shard_of(to);
+                    self.emit(
+                        dest,
+                        at,
+                        Event::DeliverToSwitch {
+                            node: to,
+                            from: Endpoint::Controller,
+                            msg,
+                        },
+                    );
+                }
+                CtrlEffect::UpdateComplete { flow, version } => {
+                    self.ops.push(SinkOp::Completion(base, flow, version));
+                }
+                CtrlEffect::AlarmRaised { flow, reason } => {
+                    self.ops.push(SinkOp::Alarm(base, flow, reason));
+                }
+            }
+        }
+        let cs = self.ctrl.as_mut().expect("ctrl effects on a switch shard");
+        cs.ctrl_busy = cs.ctrl_busy.max(send_time);
+    }
+
+    /// Mirror of `NetworkSim::arm_poll`.
+    fn arm_poll(&mut self, node: NodeId, now: SimTime) {
+        let interval = self.config.timing.resubmit_poll_ms;
+        let l = self.local_idx(node);
+        if interval <= 0.0 || self.polling[l] {
+            return;
+        }
+        if self.switches[l].parked_messages() == 0 {
+            return;
+        }
+        self.polling[l] = true;
+        self.emit(self.id, now + ms(interval), Event::PollTick { node });
+    }
+}
+
+/// Non-sharded remainder of a dismantled [`NetworkSim`], kept for
+/// reassembly by [`PartitionedSim::into_world`].
+struct Rest {
+    topo: Arc<Topology>,
+    tables: Arc<PathTables>,
+    config: SimConfig,
+    flows: BTreeMap<FlowId, FlowSpec>,
+    violations: Vec<(SimTime, Violation)>,
+    analysis_findings: Vec<Diagnostic>,
+    gate_cache: Option<BatchAnalysis>,
+    gate_stats: GateStats,
+}
+
+/// A [`NetworkSim`] running under the partitioned parallel engine. See
+/// the module docs for the determinism argument and the restrictions.
+pub struct PartitionedSim {
+    shards: Vec<ShardCtx>,
+    ctrl_shard: usize,
+    assign: Arc<Vec<u32>>,
+    lookahead: SimDuration,
+    threads: usize,
+    next_seq: u64,
+    pending: usize,
+    peak_pending: usize,
+    events: u64,
+    now: SimTime,
+    windows: u64,
+    shard_events: Vec<u64>,
+    sink: Box<dyn MetricsSink>,
+    rest: Rest,
+}
+
+impl PartitionedSim {
+    /// Shard `world` along `partitioner`'s cut, processing windows with
+    /// `threads` worker threads (1 = same engine, serial window loop).
+    ///
+    /// Fails when the configuration needs the sequential engine (see the
+    /// module-level *Restrictions*) or when the timing model yields no
+    /// positive lookahead.
+    pub fn new<P: Partitioner + ?Sized>(
+        world: NetworkSim,
+        partitioner: &P,
+        threads: usize,
+    ) -> Result<Self, String> {
+        let config = *world.config();
+        if config.fault_choices.is_some() {
+            return Err("fault choice points need the sequential engine".into());
+        }
+        if config.faults != FaultConfig::NONE {
+            return Err("fault injection needs the sequential engine".into());
+        }
+        if config.paranoid {
+            return Err("paranoid checking walks global state; use the sequential engine".into());
+        }
+        if config.analysis_gate {
+            return Err(
+                "the analysis gate runs controller-global; disable it or use the sequential engine"
+                    .into(),
+            );
+        }
+        if !matches!(config.timing.install, InstallDelay::None) {
+            return Err(
+                "stochastic install delays draw switch-side RNG; use the sequential engine".into(),
+            );
+        }
+
+        let partitions = partitioner.partitions().max(1);
+        let ctrl_shard = partitions;
+        let nshards = partitions + 1;
+
+        // Conservative lookahead: the minimum over the cross-shard
+        // emission classes (see the module docs for the cut argument).
+        let proc = ms(config.timing.switch_proc_ms);
+        let tx = ms(config.timing.ctrl_tx_ms);
+        let ctrl_floor = match config.timing.control {
+            ControlLatency::NormalMs { floor_ms, .. } => ms(floor_ms),
+            ControlLatency::ShortestPathFrom(_) => SimDuration::ZERO,
+        };
+        let mut lookahead = (proc + ctrl_floor).min(tx + ctrl_floor);
+        if let Some(cross) = min_cross_partition_latency(world.topology(), partitioner) {
+            lookahead = lookahead.min(proc + cross);
+        }
+        if lookahead == SimDuration::ZERO {
+            return Err("timing model yields zero lookahead; no parallel window exists".into());
+        }
+
+        let n = world.topology().node_count();
+        let assign: Arc<Vec<u32>> = Arc::new(
+            world
+                .topology()
+                .node_ids()
+                .map(|id| {
+                    let s = partitioner.partition_of(id);
+                    assert!(s < partitions, "partition_of out of range");
+                    s as u32
+                })
+                .collect(),
+        );
+
+        let NetworkSim {
+            topo,
+            switches,
+            controller,
+            config,
+            rng,
+            tables,
+            switch_busy,
+            polling,
+            ctrl_busy,
+            batches,
+            flows,
+            sink,
+            scratch: _,
+            violations,
+            analysis_findings,
+            gate_cache,
+            gate_stats,
+        } = world;
+        let topo = Arc::new(topo);
+
+        let mut shards: Vec<ShardCtx> = (0..nshards)
+            .map(|id| ShardCtx {
+                id: id as u32,
+                ctrl_shard: ctrl_shard as u32,
+                config,
+                topo: Arc::clone(&topo),
+                tables: Arc::clone(&tables),
+                assign: Arc::clone(&assign),
+                main: new_queue(config.queue_backend),
+                side: BinaryHeap::new(),
+                window_end: SimTime::ZERO,
+                records: Vec::new(),
+                emissions: Vec::new(),
+                ops: Vec::new(),
+                emitted: 0,
+                violation: None,
+                local: if id < partitions {
+                    vec![u32::MAX; n]
+                } else {
+                    Vec::new()
+                },
+                nodes: Vec::new(),
+                switches: Vec::new(),
+                busy: Vec::new(),
+                polling: Vec::new(),
+                scratch: Vec::new(),
+                ctrl: None,
+            })
+            .collect();
+
+        for (i, sw) in switches.into_switches().into_iter().enumerate() {
+            let s = assign[i] as usize;
+            let shard = &mut shards[s];
+            shard.local[i] = shard.switches.len() as u32;
+            shard.nodes.push(NodeId(i as u32));
+            shard.switches.push(sw);
+            shard.busy.push(switch_busy[i]);
+            shard.polling.push(polling[i]);
+        }
+        shards[ctrl_shard].ctrl = Some(CtrlState {
+            controller,
+            rng,
+            ctrl_busy,
+            batches,
+        });
+
+        Ok(PartitionedSim {
+            shards,
+            ctrl_shard,
+            assign,
+            lookahead,
+            threads: threads.max(1),
+            next_seq: 0,
+            pending: 0,
+            peak_pending: 0,
+            events: 0,
+            now: SimTime::ZERO,
+            windows: 0,
+            shard_events: vec![0; nshards],
+            sink,
+            rest: Rest {
+                topo,
+                tables,
+                config,
+                flows,
+                violations,
+                analysis_findings,
+                gate_cache,
+                gate_stats,
+            },
+        })
+    }
+
+    /// Override the derived lookahead. Shrinking the window is always
+    /// safe (more barriers, same order); *growing* it past the derived
+    /// bound deliberately breaks the conservative guarantee — the
+    /// lookahead-safety tests use this to prove the enforcement trips.
+    pub fn with_lookahead(mut self, lookahead: SimDuration) -> Self {
+        self.lookahead = lookahead;
+        self
+    }
+
+    /// The derived (or overridden) conservative lookahead.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Number of switch partitions (the controller shard is one more).
+    pub fn partitions(&self) -> usize {
+        self.shards.len() - 1
+    }
+
+    /// Barrier windows processed so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Events delivered so far, by shard (switch partitions first, the
+    /// controller shard last). Sums to [`Self::events_delivered`].
+    pub fn shard_events(&self) -> &[u64] {
+        &self.shard_events
+    }
+
+    /// Total events delivered.
+    pub fn events_delivered(&self) -> u64 {
+        self.events
+    }
+
+    /// High-water mark of pending events (identical to the sequential
+    /// engine's `peak_queue_depth`: the barrier replays the sequential
+    /// push/pop schedule when accounting).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Schedule a seed event (same clamp semantics as the sequential
+    /// `Simulation::schedule_at`).
+    pub fn schedule_at(&mut self, at: SimTime, event: Event) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let dest = self.shard_of_event(&event);
+        self.shards[dest].main.push(at, seq, event);
+        self.pending += 1;
+        self.peak_pending = self.peak_pending.max(self.pending);
+    }
+
+    fn shard_of_event(&self, event: &Event) -> usize {
+        match event {
+            Event::DeliverToSwitch { node, .. }
+            | Event::InstallComplete { node, .. }
+            | Event::InjectPacket { node, .. }
+            | Event::PollTick { node } => self.assign[node.index()] as usize,
+            Event::DeliverToController { .. }
+            | Event::CtrlIngress { .. }
+            | Event::ControllerExec { .. }
+            | Event::Trigger { .. }
+            | Event::ControllerTimer => self.ctrl_shard,
+        }
+    }
+
+    /// Run until the queues drain.
+    pub fn run(&mut self) -> Result<RunOutcome, LookaheadViolation> {
+        self.run_until(SimTime::from_nanos(u64::MAX))
+    }
+
+    /// Run until the queues drain or the earliest pending event lies
+    /// beyond `horizon` (same semantics as the sequential `run_until`).
+    pub fn run_until(&mut self, horizon: SimTime) -> Result<RunOutcome, LookaheadViolation> {
+        loop {
+            let mut t_min: Option<SimTime> = None;
+            for shard in &mut self.shards {
+                if let Some(t) = shard.front() {
+                    t_min = Some(t_min.map_or(t, |m| m.min(t)));
+                }
+            }
+            let Some(t) = t_min else {
+                return Ok(RunOutcome::QueueDrained {
+                    finished_at: self.now,
+                    events: self.events,
+                });
+            };
+            if t > horizon {
+                return Ok(RunOutcome::HorizonReached {
+                    horizon,
+                    events: self.events,
+                });
+            }
+            let window_end = (t + self.lookahead).min(horizon + SimDuration::from_nanos(1));
+            self.windows += 1;
+            let workers = self.threads.min(self.shards.len());
+            if workers <= 1 {
+                for shard in &mut self.shards {
+                    shard.window_end = window_end;
+                    shard.run_window();
+                }
+            } else {
+                for shard in &mut self.shards {
+                    shard.window_end = window_end;
+                }
+                let per = self.shards.len().div_ceil(workers);
+                std::thread::scope(|scope| {
+                    for chunk in self.shards.chunks_mut(per) {
+                        scope.spawn(move || {
+                            for shard in chunk {
+                                shard.run_window();
+                            }
+                        });
+                    }
+                });
+            }
+            for shard in &self.shards {
+                if let Some(v) = &shard.violation {
+                    return Err(v.clone());
+                }
+            }
+            self.merge_window();
+        }
+    }
+
+    /// The barrier: k-way merge the shard-local delivery records in
+    /// global `(time, seq)` order, assigning every emission its final
+    /// global sequence number in exactly the order the sequential engine
+    /// would have, replaying sink effects in that order, and routing
+    /// cross-shard events into their destination queues.
+    fn merge_window(&mut self) {
+        struct WindowOut {
+            records: Vec<Record>,
+            emissions: Vec<Emission>,
+            ops: Vec<SinkOp>,
+        }
+        let n = self.shards.len();
+        let mut outs: Vec<WindowOut> = self
+            .shards
+            .iter_mut()
+            .map(|s| WindowOut {
+                records: std::mem::take(&mut s.records),
+                emissions: std::mem::take(&mut s.emissions),
+                ops: std::mem::take(&mut s.ops),
+            })
+            .collect();
+        let mut seqmaps: Vec<Vec<u64>> = self
+            .shards
+            .iter()
+            .map(|s| vec![u64::MAX; s.emitted as usize])
+            .collect();
+        let mut rec_cur = vec![0usize; n];
+        let mut emi_cur = vec![0usize; n];
+        let mut op_cur = vec![0usize; n];
+
+        loop {
+            // Head record with the globally smallest (time, seq). A
+            // provisional head's parent record precedes it in the same
+            // shard (a parent emits strictly before its child is popped),
+            // so its sequence number is always already resolved.
+            let mut best: Option<(SimTime, u64, usize)> = None;
+            for (i, out) in outs.iter().enumerate() {
+                let Some(r) = out.records.get(rec_cur[i]) else {
+                    continue;
+                };
+                let seq = match r.key {
+                    Key::Resolved(s) => s,
+                    Key::Provisional(idx) => {
+                        let s = seqmaps[i][idx as usize];
+                        debug_assert_ne!(s, u64::MAX, "unresolved provisional key at merge");
+                        s
+                    }
+                };
+                if best.is_none_or(|(bt, bs, _)| (r.at, seq) < (bt, bs)) {
+                    best = Some((r.at, seq, i));
+                }
+            }
+            let Some((at, _, i)) = best else { break };
+            let r = outs[i].records[rec_cur[i]];
+            rec_cur[i] += 1;
+            self.now = at;
+            self.events += 1;
+            self.shard_events[i] += 1;
+            self.pending -= 1;
+            for _ in 0..r.n_ops {
+                let op = outs[i].ops[op_cur[i]];
+                op_cur[i] += 1;
+                apply_op(&mut *self.sink, op);
+            }
+            for _ in 0..r.n_emissions {
+                let e = &mut outs[i].emissions[emi_cur[i]];
+                emi_cur[i] += 1;
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.pending += 1;
+                self.peak_pending = self.peak_pending.max(self.pending);
+                match e {
+                    Emission::Local { idx } => seqmaps[i][*idx as usize] = seq,
+                    Emission::Out { dest, at, event } => {
+                        let event = event.take().expect("emission consumed twice");
+                        self.shards[*dest as usize].main.push(*at, seq, event);
+                    }
+                }
+            }
+        }
+
+        // Side-heap remainders (all at or past the window end) move into
+        // the main queue with their now-resolved sequence numbers.
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            while let Some(Reverse(entry)) = shard.side.pop() {
+                let seq = seqmaps[i][entry.idx as usize];
+                debug_assert_ne!(seq, u64::MAX, "unresolved side event after merge");
+                shard.main.push(entry.at, seq, entry.event);
+            }
+            shard.emitted = 0;
+        }
+    }
+
+    /// Reassemble the (sequentially-equivalent) [`NetworkSim`]: switch
+    /// state regroups in `NodeId` order, the controller shard returns the
+    /// controller, RNG, and busy horizon, and the metrics sink carries
+    /// the merged observation stream.
+    pub fn into_world(self) -> NetworkSim {
+        let PartitionedSim {
+            mut shards,
+            ctrl_shard,
+            sink,
+            rest,
+            ..
+        } = self;
+        let n = rest.topo.node_count();
+        let mut switches: Vec<Option<Switch>> = (0..n).map(|_| None).collect();
+        let mut switch_busy = vec![SimTime::ZERO; n];
+        let mut polling = vec![false; n];
+        let mut ctrl = None;
+        for shard in &mut shards {
+            if shard.id as usize == ctrl_shard {
+                ctrl = shard.ctrl.take();
+                continue;
+            }
+            for (l, sw) in shard.switches.drain(..).enumerate() {
+                let g = shard.nodes[l].index();
+                switches[g] = Some(sw);
+                switch_busy[g] = shard.busy[l];
+                polling[g] = shard.polling[l];
+            }
+        }
+        drop(shards);
+        let cs = ctrl.expect("controller shard present");
+        let Rest {
+            topo,
+            tables,
+            config,
+            flows,
+            violations,
+            analysis_findings,
+            gate_cache,
+            gate_stats,
+        } = rest;
+        NetworkSim {
+            topo: Arc::try_unwrap(topo).unwrap_or_else(|arc| (*arc).clone()),
+            switches: SwitchTable::from_switches(
+                switches
+                    .into_iter()
+                    .map(|s| s.expect("every node owned"))
+                    .collect(),
+            ),
+            controller: cs.controller,
+            config,
+            rng: cs.rng,
+            tables,
+            switch_busy,
+            polling,
+            ctrl_busy: cs.ctrl_busy,
+            batches: cs.batches,
+            flows,
+            sink,
+            scratch: Vec::new(),
+            violations,
+            analysis_findings,
+            gate_cache,
+            gate_stats,
+        }
+    }
+}
+
+fn apply_op(sink: &mut dyn MetricsSink, op: SinkOp) {
+    match op {
+        SinkOp::Arrival(t, node, pkt) => sink.record_arrival(t, node, pkt),
+        SinkOp::Delivery(t, node, pkt) => sink.record_delivery(t, node, pkt),
+        SinkOp::PacketDrop(t, node, pkt, reason) => sink.record_drop(t, node, pkt, reason),
+        SinkOp::Completion(t, flow, version) => sink.record_completion(t, flow, version),
+        SinkOp::Alarm(t, flow, reason) => sink.record_alarm(t, flow, reason),
+        SinkOp::Trigger(t, batch) => sink.record_trigger(t, batch),
+        SinkOp::Unm(t, node) => sink.record_unm_delivery(t, node),
+    }
+}
+
+/// Event router for the *merged* sharded scheduler
+/// ([`p4update_des::Simulation::with_partitions`]): same node→partition
+/// assignment as the parallel engine, controller events in the extra
+/// last shard. The merged mode keeps the fully general sequential
+/// semantics (faults, choosers, paranoid checking) while exercising the
+/// sharded queue plumbing.
+pub fn event_router<P: Partitioner + ?Sized>(
+    topo: &Topology,
+    partitioner: &P,
+) -> p4update_des::EventRouter<Event> {
+    let ctrl = partitioner.partitions().max(1);
+    let assign: Vec<usize> = topo
+        .node_ids()
+        .map(|id| partitioner.partition_of(id))
+        .collect();
+    Box::new(move |event: &Event| match event {
+        Event::DeliverToSwitch { node, .. }
+        | Event::InstallComplete { node, .. }
+        | Event::InjectPacket { node, .. }
+        | Event::PollTick { node } => assign[node.index()],
+        Event::DeliverToController { .. }
+        | Event::CtrlIngress { .. }
+        | Event::ControllerExec { .. }
+        | Event::Trigger { .. }
+        | Event::ControllerTimer => ctrl,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TimingConfig;
+    use crate::network::{simulation, System};
+    use p4update_core::Strategy;
+    use p4update_net::{topologies, Path, PodPartitioner, SinglePartition};
+
+    /// Build the Fig. 1 migration world (WAN timing, gate off).
+    fn fig1_world(seed: u64) -> (NetworkSim, usize) {
+        let topo = topologies::fig1();
+        let config = SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), seed)
+            .with_analysis_gate(false);
+        let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
+        let old = Path::new(topologies::fig1_old_path());
+        let new = Path::new(topologies::fig1_new_path());
+        world.install_initial_path(FlowId(0), &old, 1.0);
+        let batch = world.add_batch(vec![FlowUpdate::new(FlowId(0), Some(old), new, 1.0)]);
+        (world, batch)
+    }
+
+    fn fingerprint(world: &NetworkSim) -> String {
+        format!("{:?}", world.metrics())
+    }
+
+    #[test]
+    fn single_partition_parallel_matches_sequential_on_fig1() {
+        let (world, batch) = fig1_world(1);
+        let mut seq = simulation(world);
+        seq.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        assert!(seq.run().drained());
+        let seq_events = seq.events_delivered();
+        let seq_peak = seq.peak_queue_depth();
+        let seq_world = seq.into_world();
+
+        let (world, batch) = fig1_world(1);
+        let mut par = PartitionedSim::new(world, &SinglePartition, 1).unwrap();
+        par.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        assert!(par.run().unwrap().drained());
+        assert_eq!(par.events_delivered(), seq_events);
+        assert_eq!(par.peak_queue_depth(), seq_peak);
+        let par_world = par.into_world();
+        assert_eq!(fingerprint(&par_world), fingerprint(&seq_world));
+    }
+
+    /// The fat-tree scenario exercises the DC timing path: CtrlIngress
+    /// relocation (NormalMs latency draws), pod-partitioned cross
+    /// traffic, and the poll loop.
+    fn fat_tree_world(seed: u64) -> (NetworkSim, usize) {
+        let topo = topologies::synthetic_fat_tree_64();
+        let config = SimConfig::new(TimingConfig::fat_tree(), seed).with_analysis_gate(false);
+        let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
+        // Migrate a few flows across pods so control and data traffic
+        // cross every partition boundary.
+        let topo = world.topology().clone();
+        let mut updates = Vec::new();
+        for (i, (a, b)) in [(0usize, 2usize), (1, 3), (2, 0), (3, 1)]
+            .iter()
+            .enumerate()
+        {
+            let src = topo.node_by_name(&format!("edge{a}_0")).unwrap();
+            let dst = topo.node_by_name(&format!("edge{b}_1")).unwrap();
+            let paths = p4update_net::k_shortest_paths(&topo, src, dst, 2);
+            assert!(paths.len() >= 2, "fat tree has path diversity");
+            let flow = FlowId(i as u32);
+            world.install_initial_path(flow, &paths[0], 1.0);
+            updates.push(FlowUpdate::new(
+                flow,
+                Some(paths[0].clone()),
+                paths[1].clone(),
+                1.0,
+            ));
+        }
+        let batch = world.add_batch(updates);
+        (world, batch)
+    }
+
+    #[test]
+    fn pod_partitioned_parallel_matches_sequential_on_fat_tree() {
+        let (world, batch) = fig_run_sequential_baseline();
+        let seq_fp = world;
+        for partitions in [1usize, 2, 4, 8] {
+            for threads in [1usize, 2] {
+                let (w, b) = fat_tree_world(7);
+                assert_eq!(b, batch);
+                let part = PodPartitioner::new(w.topology(), partitions);
+                let mut par = PartitionedSim::new(w, &part, threads).unwrap();
+                par.schedule_at(SimTime::ZERO, Event::Trigger { batch: b });
+                assert!(par.run().unwrap().drained());
+                let got = fingerprint(&par.into_world());
+                assert_eq!(got, seq_fp, "partitions={partitions} threads={threads}");
+            }
+        }
+    }
+
+    fn fig_run_sequential_baseline() -> (String, usize) {
+        let (world, batch) = fat_tree_world(7);
+        let mut seq = simulation(world);
+        seq.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        assert!(seq.run().drained());
+        (fingerprint(&seq.into_world()), batch)
+    }
+
+    #[test]
+    fn lookahead_is_derived_from_the_cut() {
+        let (world, _) = fat_tree_world(1);
+        let part = PodPartitioner::new(world.topology(), 4);
+        let par = PartitionedSim::new(world, &part, 1).unwrap();
+        // fat-tree timing: min(proc + cross-link, proc + floor, tx + floor)
+        // = min(2.0 + 0.05, 2.0 + 1.0, 5.0 + 1.0) = 2.05 ms.
+        assert_eq!(par.lookahead(), SimDuration::from_micros(2050));
+    }
+
+    #[test]
+    fn unsupported_configs_are_rejected() {
+        let mk = |config: SimConfig| {
+            let topo = topologies::fig1();
+            NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None)
+        };
+        let base = SimConfig::new(TimingConfig::fat_tree(), 1).with_analysis_gate(false);
+        assert!(PartitionedSim::new(mk(base), &SinglePartition, 1).is_ok());
+        let paranoid = base.paranoid();
+        assert!(PartitionedSim::new(mk(paranoid), &SinglePartition, 1).is_err());
+        let gate = base.with_analysis_gate(true);
+        assert!(PartitionedSim::new(mk(gate), &SinglePartition, 1).is_err());
+        let mut faulty = base;
+        faulty.faults.drop_ctrl_to_switch = 0.1;
+        assert!(PartitionedSim::new(mk(faulty), &SinglePartition, 1).is_err());
+    }
+
+    /// The horizon splits a run without perturbing it (mirrors the
+    /// sequential engine's stop-and-resume contract).
+    #[test]
+    fn horizon_stops_and_resumes_identically() {
+        let (world, batch) = fat_tree_world(3);
+        let mut seq = simulation(world);
+        seq.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        assert!(seq.run().drained());
+        let want = fingerprint(&seq.into_world());
+
+        let (world, batch) = fat_tree_world(3);
+        let part = PodPartitioner::new(world.topology(), 4);
+        let mut par = PartitionedSim::new(world, &part, 1).unwrap();
+        par.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        let mid = par.run_until(SimTime::ZERO + ms(40.0)).unwrap();
+        assert!(matches!(mid, RunOutcome::HorizonReached { .. }));
+        assert!(par.run().unwrap().drained());
+        assert_eq!(fingerprint(&par.into_world()), want);
+    }
+}

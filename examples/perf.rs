@@ -8,25 +8,32 @@
 //! cargo run --example perf -- --smoke             # CI smoke: small scales, schema check only
 //! cargo run --example perf -- --smoke --out /tmp/a.json --strip-timing
 //! cargo run --example perf -- --check BENCH_p4update.json   # validate an existing artifact
-//! cargo run --release --example perf -- --threads 4
+//! cargo run --release --example perf -- --threads 4 --partitions 4
+//! cargo run --release --example perf -- --ft32768-smoke 32  # parallel-only scale, alone
 //! ```
 //!
-//! `--threads N` shards the (system × seed) grid over N workers; the
-//! `--strip-timing` output (wall-clock fields removed) is byte-identical
-//! for any N, which `scripts/check.sh` verifies by diffing a 1-thread
-//! against a 4-thread smoke run.
+//! `--threads N` shards the (system × seed) grid over N workers;
+//! `--partitions P` routes every grid run through the windowed
+//! partitioned engine on a P-way pod cut. The `--strip-timing` output
+//! (wall-clock fields removed) is byte-identical for any N *and any P*,
+//! which `scripts/check.sh` verifies by diffing 1-vs-4-thread and
+//! 1-vs-4-partition smoke runs. `--ft32768-smoke F` runs only the
+//! 32768-switch partitioned probe with F flows and prints its entry —
+//! the quick CI-sized version of the full artifact's ft32768 section.
 //!
 //! The full run should be made from a release build on an otherwise idle
 //! machine; the committed baseline's absolute numbers are indicative, not
 //! normative — `--check` validates shape, not throughput.
 
-use p4update::perf::{run_bench, strip_timing, validate_report, Json};
+use p4update::perf::{ft32768_probe, run_bench, strip_timing, validate_report, Json};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut strip = false;
     let mut threads = 1usize;
+    let mut partitions = 1usize;
+    let mut ft32768_flows: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut i = 0;
@@ -41,6 +48,23 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage("--threads needs a positive integer"));
+            }
+            "--partitions" => {
+                i += 1;
+                partitions = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--partitions needs a positive integer"));
+            }
+            "--ft32768-smoke" => {
+                i += 1;
+                ft32768_flows = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| (1..=238).contains(&n))
+                        .unwrap_or_else(|| usage("--ft32768-smoke needs a flow count in 1..=238")),
+                );
             }
             "--out" => {
                 i += 1;
@@ -63,6 +87,12 @@ fn main() {
         i += 1;
     }
 
+    if let Some(flows) = ft32768_flows {
+        let entry = ft32768_probe(flows);
+        println!("{}", entry.to_string_pretty());
+        return;
+    }
+
     if let Some(path) = check {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
@@ -79,7 +109,7 @@ fn main() {
     if !smoke && cfg!(debug_assertions) {
         eprintln!("note: full run in a debug build; use --release for baseline numbers");
     }
-    let report = run_bench(smoke, threads);
+    let report = run_bench(smoke, threads, partitions);
     let min_scales = if smoke { 1 } else { 4 };
     if let Err(e) = validate_report(&report, min_scales) {
         fail(&format!("generated report failed validation: {e}"));
@@ -125,18 +155,50 @@ fn print_summary(report: &p4update::perf::Json) {
         }
     }
     if let Some(ts) = report.get("thread_scaling") {
-        let scale = ts.get("scale").and_then(Json::as_str).unwrap_or("?");
-        let avail = ts
-            .get("parallelism_available")
-            .and_then(Json::as_f64)
-            .unwrap_or(0.0);
-        println!("thread scaling ({scale}, {avail:.0} cores available):");
-        for p in ts.get("points").and_then(Json::as_arr).unwrap_or(&[]) {
+        if let Some(rl) = ts.get("run_level") {
+            let scale = rl.get("scale").and_then(Json::as_str).unwrap_or("?");
+            let avail = rl
+                .get("parallelism_available")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            println!("run-level thread scaling ({scale}, {avail:.0} cores available):");
+            for p in rl.get("points").and_then(Json::as_arr).unwrap_or(&[]) {
+                println!(
+                    "  {:>2.0} threads   {:>7.2} s   speedup {:>5.2}x",
+                    p.get("threads").and_then(Json::as_f64).unwrap_or(0.0),
+                    p.get("wall_secs").and_then(Json::as_f64).unwrap_or(0.0),
+                    p.get("speedup").and_then(Json::as_f64).unwrap_or(0.0),
+                );
+            }
+        }
+        if let Some(ir) = ts.get("in_run") {
+            let scale = ir.get("scale").and_then(Json::as_str).unwrap_or("?");
+            let avail = ir
+                .get("parallelism_available")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            println!("in-run partitioned scaling ({scale}, {avail:.0} cores available):");
+            for p in ir.get("points").and_then(Json::as_arr).unwrap_or(&[]) {
+                println!(
+                    "  {:>2.0} partitions x {:>2.0} threads   {:>7.2} s   speedup {:>5.2}x",
+                    p.get("partitions").and_then(Json::as_f64).unwrap_or(0.0),
+                    p.get("threads").and_then(Json::as_f64).unwrap_or(0.0),
+                    p.get("wall_secs").and_then(Json::as_f64).unwrap_or(0.0),
+                    p.get("speedup").and_then(Json::as_f64).unwrap_or(0.0),
+                );
+            }
+        }
+    }
+    if let Some(part) = report.get("partitioning") {
+        println!("partitioned-engine shape (fixed cut):");
+        for e in part.get("scales").and_then(Json::as_arr).unwrap_or(&[]) {
             println!(
-                "  {:>2.0} threads   {:>7.2} s   speedup {:>5.2}x",
-                p.get("threads").and_then(Json::as_f64).unwrap_or(0.0),
-                p.get("wall_secs").and_then(Json::as_f64).unwrap_or(0.0),
-                p.get("speedup").and_then(Json::as_f64).unwrap_or(0.0),
+                "  {:<8} {:>4.0} partitions   lookahead {:>6.2} ms   {:>7.0} windows   {:>9.0} events",
+                e.get("scale").and_then(Json::as_str).unwrap_or("?"),
+                e.get("partitions").and_then(Json::as_f64).unwrap_or(0.0),
+                e.get("lookahead_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                e.get("windows").and_then(Json::as_f64).unwrap_or(0.0),
+                e.get("events").and_then(Json::as_f64).unwrap_or(0.0),
             );
         }
     }
@@ -144,7 +206,10 @@ fn print_summary(report: &p4update::perf::Json) {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: perf [--smoke] [--threads N] [--out PATH] [--strip-timing] [--check FILE]");
+    eprintln!(
+        "usage: perf [--smoke] [--threads N] [--partitions P] [--out PATH] \
+         [--strip-timing] [--check FILE] [--ft32768-smoke FLOWS]"
+    );
     std::process::exit(2);
 }
 

@@ -1,0 +1,366 @@
+//! The three-level differential wall for the partitioned DES engines.
+//!
+//! The repo has two parallel execution paths and one contract for both:
+//! the merged event order must be **byte-identical** to the sequential
+//! engine at any partition count.
+//!
+//! 1. **Engine level** — the des crate's merged sharded queue
+//!    ([`p4update::des::Simulation::with_partitions`]) on a synthetic
+//!    churn world: no network semantics at all, just the raw
+//!    `(time, seq)` total-order promise. (The des crate's own engine
+//!    tests cover the same ground from the inside; this is the
+//!    integration-facing copy.)
+//! 2. **Corpus level** — every committed counterexample trace in
+//!    `tests/corpus/` replays through the merged sharded queue to its
+//!    pinned outcome at 1/2/4/8 partitions. Minimized traces are the
+//!    most schedule-sensitive inputs the project has: a single swapped
+//!    tie-break changes their violation list.
+//! 3. **Scenario level** — every registry scenario × several seeds,
+//!    full [`p4update::explore::RunReport`] equality (event counts,
+//!    drain flag, violations, and the complete choice-consultation
+//!    sequence) between sequential and partitioned runs.
+//!
+//! On top of the wall: a propcheck property hammering random fat-trees
+//! with random faults and the paranoid checker through the merged
+//! engine, and the lookahead-safety tests for the *windowed* engine
+//! ([`p4update::sim::PartitionedSim`]) — an event emitted across
+//! partitions inside the conservative-lookahead window must panic in
+//! debug builds and surface as a [`p4update::sim::LookaheadViolation`]
+//! error in release builds (exercised via the `with_lookahead` test
+//! override; a correctly derived lookahead can never trip it).
+
+use p4update::core::Strategy;
+use p4update::des::propcheck::{cases, forall};
+use p4update::des::{Scheduler, SimDuration, SimTime, Simulation, World};
+use p4update::explore::scenarios::SCENARIOS;
+use p4update::explore::{replay, replay_partitioned, run, run_partitioned, FreePolicy, Trace};
+use p4update::net::topologies::synthetic_fat_tree;
+use p4update::net::{k_shortest_paths, FlowId, FlowUpdate, PodPartitioner, Topology};
+use p4update::sim::{
+    event_router, simulation, Event, NetworkSim, PartitionedSim, SimConfig, System, TimingConfig,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+// ---------------------------------------------------------------------------
+// Level 1: the raw engine on a semantics-free churn world.
+
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer — deterministic event fan-out without an RNG.
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Every handled event logs itself and deterministically spawns 0–2
+/// children at near-future times (lots of same-timestamp collisions —
+/// the exact case where a wrong merge order would show).
+struct ChurnWorld {
+    log: Vec<(u64, u64)>,
+    budget: usize,
+}
+
+impl World for ChurnWorld {
+    type Event = u64;
+    fn handle(&mut self, now: SimTime, event: u64, sched: &mut Scheduler<u64>) {
+        self.log.push((now.as_nanos(), event));
+        if self.log.len() >= self.budget {
+            return;
+        }
+        let h = mix(event ^ now.as_nanos());
+        // 1–2 children (expected 1.5): supercritical, so the churn keeps
+        // going until the budget cuts it off rather than dying out.
+        for i in 0..1 + h % 2 {
+            let child = mix(h.wrapping_add(i));
+            // Small-range delays force heavy (time, seq) tie-breaking.
+            let delay = SimDuration::from_nanos(child % 5);
+            sched.schedule_at(now + delay, child);
+        }
+    }
+}
+
+fn churn_run(partitions: usize) -> (Vec<(u64, u64)>, u64) {
+    let mut sim = Simulation::new(ChurnWorld {
+        log: Vec::new(),
+        budget: 4000,
+    });
+    if partitions > 1 {
+        sim = sim.with_partitions(
+            partitions,
+            Box::new(move |e: &u64| (*e % partitions as u64) as usize),
+        );
+    }
+    for seed in 0..8u64 {
+        sim.schedule_at(SimTime::ZERO, mix(seed));
+    }
+    assert!(sim.run().drained());
+    let events = sim.events_delivered();
+    (sim.into_world().log, events)
+}
+
+#[test]
+fn level1_engine_churn_is_identical_across_shard_counts() {
+    let (base_log, base_events) = churn_run(1);
+    assert!(base_events >= 4000, "churn must actually churn");
+    for partitions in [2usize, 3, 8] {
+        let (log, events) = churn_run(partitions);
+        assert_eq!(events, base_events, "{partitions} partitions");
+        assert_eq!(log, base_log, "{partitions} partitions");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level 2: the committed trace corpus through the merged sharded queue.
+
+fn corpus_traces() -> Vec<(PathBuf, Trace)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("tests/corpus must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "trace"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "tests/corpus holds no .trace files");
+    entries
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path).expect("readable trace file");
+            let trace = Trace::parse(&text)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", path.display()));
+            (path, trace)
+        })
+        .collect()
+}
+
+#[test]
+fn level2_corpus_replays_identically_at_every_partition_count() {
+    for (path, trace) in corpus_traces() {
+        let sequential = replay(&trace)
+            .unwrap_or_else(|e| panic!("{}: sequential replay failed: {e}", path.display()));
+        // Minimized ft512 traces are the slowest replays in the tree;
+        // two partition counts there still cross every pod boundary.
+        let partition_counts: &[usize] = if trace.scenario.starts_with("ft512") {
+            &[2, 8]
+        } else {
+            &[1, 2, 4, 8]
+        };
+        for &p in partition_counts {
+            let sharded = replay_partitioned(&trace, p).unwrap_or_else(|e| {
+                panic!("{}: partitioned replay ({p}) failed: {e}", path.display())
+            });
+            assert_eq!(
+                sharded,
+                sequential,
+                "{}: merged order diverged at {p} partitions",
+                path.display()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level 3: every registry scenario × seeds, full report equality.
+
+#[test]
+fn level3_registry_scenarios_match_at_every_partition_count() {
+    for info in SCENARIOS {
+        let (seeds, partition_counts): (&[u64], &[usize]) = if info.name.starts_with("ft512") {
+            (&[1], &[4])
+        } else {
+            (&[1, 2, 3], &[1, 2, 4, 8])
+        };
+        for &seed in seeds {
+            let sequential = run(info.name, seed, BTreeMap::new(), FreePolicy::Default)
+                .unwrap_or_else(|e| panic!("{}@{seed}: {e}", info.name));
+            assert!(sequential.events > 0);
+            for &p in partition_counts {
+                let sharded =
+                    run_partitioned(info.name, seed, BTreeMap::new(), FreePolicy::Default, p)
+                        .unwrap_or_else(|e| panic!("{}@{seed} ({p} partitions): {e}", info.name));
+                assert_eq!(
+                    sharded, sequential,
+                    "{}@{seed}: report diverged at {p} partitions",
+                    info.name
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: random topologies, random faults, paranoid checker — the
+// merged engine preserves every observable, violations included.
+
+/// A random small fat-tree plus a few cross-pod migrations derived from
+/// the case RNG. Faults and the paranoid checker stay on: fault draws go
+/// through the scheduler's choice points, which the merged queue must
+/// consult in the exact sequential order for the outcome to match.
+fn random_world(rng: &mut p4update::des::SimRng) -> (NetworkSim, usize, Topology) {
+    let pods = 2 + (rng.next_u64() % 3) as usize; // 2..=4
+    let per_pod = 2 + (rng.next_u64() % 2) as usize; // 2..=3
+    let cores = 2 + (rng.next_u64() % ((pods + per_pod - 1) as u64)) as usize;
+    let topo = synthetic_fat_tree(cores, pods, per_pod);
+    let mut faults = p4update::sim::FaultConfig::NONE;
+    faults.drop_ctrl_to_switch = (rng.next_u64() % 100) as f64 / 500.0; // 0..0.2
+    faults.drop_switch_to_switch = (rng.next_u64() % 100) as f64 / 500.0;
+    faults.jitter_ms = (rng.next_u64() % 100) as f64 / 50.0; // 0..2ms
+    let seed = rng.next_u64();
+    let config = SimConfig::new(TimingConfig::fat_tree(), seed)
+        .paranoid()
+        .with_faults(faults)
+        .with_analysis_gate(false);
+    let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
+    let topo = world.topology().clone();
+    let n_flows = 2 + (rng.next_u64() % 3) as usize;
+    let mut updates = Vec::new();
+    for i in 0..n_flows {
+        let a = (rng.next_u64() % pods as u64) as usize;
+        let b = (a + 1 + (rng.next_u64() % (pods as u64 - 1)) as usize) % pods;
+        let src = topo.node_by_name(&format!("edge{a}_0")).unwrap();
+        let dst = topo.node_by_name(&format!("edge{b}_1")).unwrap();
+        let paths = k_shortest_paths(&topo, src, dst, 2);
+        assert!(paths.len() >= 2, "fat tree has path diversity");
+        let flow = FlowId(i as u32);
+        world.install_initial_path(flow, &paths[0], 1.0);
+        updates.push(FlowUpdate::new(
+            flow,
+            Some(paths[0].clone()),
+            paths[1].clone(),
+            1.0,
+        ));
+    }
+    let batch = world.add_batch(updates);
+    (world, batch, topo)
+}
+
+fn fingerprint(world: &NetworkSim) -> String {
+    format!("{:?}|{:?}", world.violations, world.metrics())
+}
+
+#[test]
+fn property_random_faulty_worlds_are_partition_invariant() {
+    forall(
+        "partition_equivalence_random_faulty_worlds",
+        cases(12),
+        |rng| {
+            // Pin the case's RNG stream so the identical world can be
+            // re-derived for every partition count.
+            let saved = rng.clone();
+            // Dropped messages trigger endless controller retries, so these
+            // worlds may never drain — run to a fixed horizon instead; the
+            // differential claim is about the prefix either way.
+            let horizon = SimTime::ZERO + SimDuration::from_secs(2);
+            let (world, batch, _) = random_world(rng);
+            let mut seq = simulation(world);
+            seq.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+            let seq_outcome = seq.run_until(horizon);
+            let seq_events = seq.events_delivered();
+            assert!(seq_events > 0);
+            let seq_fp = fingerprint(&seq.into_world());
+
+            for partitions in [2usize, 5] {
+                let mut replay_rng = saved.clone();
+                let (world, batch2, topo) = random_world(&mut replay_rng);
+                assert_eq!(batch2, batch);
+                let part = PodPartitioner::new(&topo, partitions);
+                let router = event_router(&topo, &part);
+                let mut par = simulation(world).with_partitions(partitions + 1, router);
+                par.schedule_at(SimTime::ZERO, Event::Trigger { batch: batch2 });
+                assert_eq!(
+                    par.run_until(horizon),
+                    seq_outcome,
+                    "{partitions} partitions"
+                );
+                assert_eq!(
+                    par.events_delivered(),
+                    seq_events,
+                    "{partitions} partitions"
+                );
+                assert_eq!(
+                    fingerprint(&par.into_world()),
+                    seq_fp,
+                    "{partitions} partitions"
+                );
+            }
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Lookahead safety for the windowed engine.
+
+/// A two-pod fat-tree world with cross-pod traffic for the windowed
+/// engine, and the boundary-breaking lookahead override: the true
+/// conservative lookahead for fat-tree timing is 2.05 ms (proc 2 ms +
+/// the 50 µs boundary link); inflating it to 100 ms guarantees some
+/// cross-partition emission lands inside the (now oversized) window.
+fn boundary_breaking_sim() -> PartitionedSim {
+    let topo = synthetic_fat_tree(4, 2, 3);
+    let config = SimConfig::new(TimingConfig::fat_tree(), 1).with_analysis_gate(false);
+    let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
+    let topo = world.topology().clone();
+    let src = topo.node_by_name("edge0_0").unwrap();
+    let dst = topo.node_by_name("edge1_1").unwrap();
+    let paths = k_shortest_paths(&topo, src, dst, 2);
+    world.install_initial_path(FlowId(0), &paths[0], 1.0);
+    let batch = world.add_batch(vec![FlowUpdate::new(
+        FlowId(0),
+        Some(paths[0].clone()),
+        paths[1].clone(),
+        1.0,
+    )]);
+    let part = PodPartitioner::new(&topo, 2);
+    let mut sim = PartitionedSim::new(world, &part, 1)
+        .expect("fat-tree timing supports the windowed engine")
+        .with_lookahead(SimDuration::from_millis(100));
+    sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+    sim
+}
+
+/// Sanity: the same world under the *derived* lookahead runs clean —
+/// the violation below is manufactured by the override alone.
+#[test]
+fn derived_lookahead_never_trips_the_boundary_check() {
+    let topo = synthetic_fat_tree(4, 2, 3);
+    let config = SimConfig::new(TimingConfig::fat_tree(), 1).with_analysis_gate(false);
+    let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
+    let topo = world.topology().clone();
+    let src = topo.node_by_name("edge0_0").unwrap();
+    let dst = topo.node_by_name("edge1_1").unwrap();
+    let paths = k_shortest_paths(&topo, src, dst, 2);
+    world.install_initial_path(FlowId(0), &paths[0], 1.0);
+    let batch = world.add_batch(vec![FlowUpdate::new(
+        FlowId(0),
+        Some(paths[0].clone()),
+        paths[1].clone(),
+        1.0,
+    )]);
+    let part = PodPartitioner::new(&topo, 2);
+    let mut sim = PartitionedSim::new(world, &part, 1).unwrap();
+    sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+    assert!(sim.run().expect("derived lookahead is safe").drained());
+}
+
+/// Debug builds: an emission that would arrive before the barrier window
+/// closes is a programming error and must panic at the emission site.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "conservative lookahead violated")]
+fn oversized_lookahead_panics_at_the_boundary_in_debug() {
+    let mut sim = boundary_breaking_sim();
+    let _ = sim.run();
+}
+
+/// Release builds: the same violation surfaces as a structured error
+/// before any merged event order is exposed.
+#[cfg(not(debug_assertions))]
+#[test]
+fn oversized_lookahead_errors_at_the_boundary_in_release() {
+    let mut sim = boundary_breaking_sim();
+    let v = sim.run().expect_err("oversized lookahead must be caught");
+    assert!(v.at < v.window_end, "violation fields must show the breach");
+    assert_ne!(v.from_shard, v.to_shard);
+}
