@@ -56,6 +56,9 @@ struct PendingInstall {
 /// A verified update deferred by the congestion scheduler.
 #[derive(Debug, Clone)]
 struct BlockedMove {
+    /// Wire sender of the accepted notification, preserved so the retried
+    /// move re-passes the §7 sender binding.
+    from: Endpoint,
     unm: Unm,
 }
 
@@ -77,15 +80,16 @@ pub struct P4UpdateLogic {
     /// UNMs waiting for their version's UIM (packet resubmission model).
     waiting_for_uim: ResubmitQueue<FlowId, (Endpoint, Unm)>,
     /// First-layer UNMs held at unsatisfied dual-layer gates; retried on
-    /// every state change of the flow.
-    held: Vec<(FlowId, Unm)>,
+    /// every state change of the flow (with the wire sender preserved, so
+    /// re-verification keeps the §7 sender binding).
+    held: Vec<(FlowId, Endpoint, Unm)>,
     pending: BTreeMap<u64, PendingInstall>,
     next_token: u64,
     /// Flows with a rule write in flight: further notifications for them
     /// are deferred and re-verified once the write completes (one table
     /// write at a time per flow, as on the real switch).
     installing: BTreeSet<FlowId>,
-    deferred: Vec<(FlowId, Unm)>,
+    deferred: Vec<(FlowId, Endpoint, Unm)>,
     scheduler: CongestionScheduler,
     blocked: BTreeMap<FlowId, BlockedMove>,
     ufm_sent: BTreeMap<FlowId, Version>,
@@ -304,11 +308,20 @@ impl P4UpdateLogic {
         // a write is in flight resubmit after it completes (they usually
         // become pass-alongs then).
         if self.installing.contains(&unm.flow) {
-            self.deferred.push((unm.flow, unm));
+            self.deferred.push((unm.flow, from, unm));
             return;
         }
         let entry = state.uib.read(unm.flow);
-        match verify(&entry, &unm) {
+        let mut verdict = verify(&entry, &unm);
+        // Sender binding (§7): an accepting notification must have arrived
+        // from this node's staged child on the new path. The verification
+        // labels alone can be satisfied by an equivocating neighbor's
+        // forged notification (it just claims a distance one further out);
+        // the arrival port cannot be forged.
+        if verdict.accepts() && Some(from) != entry.staged_next_hop.map(Endpoint::Switch) {
+            verdict = Verdict::Reject(RejectReason::UnexpectedSender);
+        }
+        match verdict {
             Verdict::WaitForUim => {
                 self.counters.waits_for_uim += 1;
                 if !self.waiting_for_uim.park(unm.flow, (from, unm)) {
@@ -322,7 +335,7 @@ impl P4UpdateLogic {
                 // actionable; second-layer holds are dropped (the first
                 // layer will carry better information).
                 if unm.layer == UnmLayer::Inter && unm.v_new > entry.applied_version {
-                    self.held.push((unm.flow, unm));
+                    self.held.push((unm.flow, from, unm));
                 }
             }
             Verdict::Reject(reason) => {
@@ -363,7 +376,7 @@ impl P4UpdateLogic {
                 self.retry_held(now, state, unm.flow, out);
             }
             Verdict::Accept => {
-                self.gate_and_install(now, state, unm, ApplyKind::Single, false, out);
+                self.gate_and_install(now, state, from, unm, ApplyKind::Single, false, out);
             }
             Verdict::AcceptInterior => {
                 let apply = ApplyKind::Dual {
@@ -371,7 +384,7 @@ impl P4UpdateLogic {
                     old_distance: unm.d_old,
                     counter: unm.counter + 1,
                 };
-                self.gate_and_install(now, state, unm, apply, false, out);
+                self.gate_and_install(now, state, from, unm, apply, false, out);
             }
             Verdict::AcceptGateway => {
                 let apply = ApplyKind::Dual {
@@ -379,16 +392,18 @@ impl P4UpdateLogic {
                     old_distance: unm.d_old,
                     counter: unm.counter + 1,
                 };
-                self.gate_and_install(now, state, unm, apply, true, out);
+                self.gate_and_install(now, state, from, unm, apply, true, out);
             }
         }
     }
 
     /// The congestion gate (§7.4) followed by the rule write.
+    #[allow(clippy::too_many_arguments)]
     fn gate_and_install(
         &mut self,
         _now: SimTime,
         state: &mut SwitchState,
+        from: Endpoint,
         unm: Unm,
         apply: ApplyKind,
         via_gateway: bool,
@@ -424,7 +439,7 @@ impl P4UpdateLogic {
                 Admission::Blocked(_) => {
                     self.counters.capacity_deferrals += 1;
                     self.scheduler.park(new_hop, unm.flow);
-                    self.blocked.insert(unm.flow, BlockedMove { unm });
+                    self.blocked.insert(unm.flow, BlockedMove { from, unm });
                     // Raise the priority of flows that could free the
                     // contended link: active on it, staged to leave it.
                     let mut raised = Vec::new();
@@ -443,7 +458,7 @@ impl P4UpdateLogic {
                     // now pass: retry its move.
                     for g in raised {
                         if let Some(bm) = self.blocked.remove(&g) {
-                            self.process_unm(_now, state, Endpoint::Switch(state.id), bm.unm, out);
+                            self.process_unm(_now, state, bm.from, bm.unm, out);
                         }
                     }
                     return;
@@ -484,13 +499,14 @@ impl P4UpdateLogic {
         let mut to_retry = Vec::new();
         while i < self.deferred.len() {
             if self.deferred[i].0 == flow {
-                to_retry.push(self.deferred.remove(i).1);
+                let (_, from, unm) = self.deferred.remove(i);
+                to_retry.push((from, unm));
             } else {
                 i += 1;
             }
         }
-        for unm in to_retry {
-            self.process_unm(now, state, Endpoint::Switch(state.id), unm, out);
+        for (from, unm) in to_retry {
+            self.process_unm(now, state, from, unm, out);
         }
     }
 
@@ -539,13 +555,14 @@ impl P4UpdateLogic {
         let mut to_retry = Vec::new();
         while i < self.held.len() {
             if self.held[i].0 == flow {
-                to_retry.push(self.held.remove(i).1);
+                let (_, from, unm) = self.held.remove(i);
+                to_retry.push((from, unm));
             } else {
                 i += 1;
             }
         }
-        for unm in to_retry {
-            self.process_unm(now, state, Endpoint::Switch(state.id), unm, out);
+        for (from, unm) in to_retry {
+            self.process_unm(now, state, from, unm, out);
         }
     }
 }
@@ -693,7 +710,7 @@ impl P4UpdateLogic {
         let candidates = self.scheduler.drain(link, |f| state.uib.read(f).priority);
         for f in candidates {
             if let Some(bm) = self.blocked.remove(&f) {
-                self.process_unm(now, state, Endpoint::Switch(state.id), bm.unm, out);
+                self.process_unm(now, state, bm.from, bm.unm, out);
             }
         }
     }
@@ -894,6 +911,41 @@ mod tests {
             &effects[0],
             Effect::SendController { msg: Message::Ufm(u) }
                 if u.status == UfmStatus::Alarm(RejectReason::DistanceMismatch)
+        ));
+        assert_eq!(v1.state.uib.read(FlowId(0)).applied_version, Version::NONE);
+    }
+
+    /// Sender binding (§7): a notification whose distance arithmetic is
+    /// perfectly consistent is still rejected when it does not arrive
+    /// from the staged child on the new path — an equivocating third
+    /// party cannot vouch for a hop it does not own.
+    #[test]
+    fn accepting_unm_from_wrong_sender_is_alarmed() {
+        let t = line(4, 10.0);
+        let mut v1 = p4switch(&t, 1);
+        v1.handle_message(
+            SimTime::ZERO,
+            Endpoint::Controller,
+            uim(0, 1, 2, Some(2), Some(0)),
+        );
+        // d_new = 1 satisfies `uim_distance == d_new + 1` exactly, but
+        // the claim comes from node 3, not the staged child (node 2).
+        let unm = Message::Unm(Unm {
+            flow: FlowId(0),
+            v_new: Version(1),
+            v_old: Version(0),
+            d_new: 1,
+            d_old: 0,
+            counter: 0,
+            kind: UpdateKind::Single,
+            layer: UnmLayer::Intra,
+        });
+        let effects = v1.handle_message(SimTime::ZERO, Endpoint::Switch(NodeId(3)), unm);
+        assert_eq!(effects.len(), 1);
+        assert!(matches!(
+            &effects[0],
+            Effect::SendController { msg: Message::Ufm(u) }
+                if u.status == UfmStatus::Alarm(RejectReason::UnexpectedSender)
         ));
         assert_eq!(v1.state.uib.read(FlowId(0)).applied_version, Version::NONE);
     }

@@ -26,6 +26,12 @@ pub enum ChoiceKind {
     /// A fault decision attached to a message. The world defines the
     /// alternatives; `0` must mean "no fault".
     Fault,
+    /// A byzantine decision attached to a message: whether (and how) the
+    /// sending switch *lies* — forging labels, replaying stale state,
+    /// equivocating, or faking acknowledgements. The world defines the
+    /// alternatives; `0` must mean "send honestly". Traces containing
+    /// this kind use the v2 trace format (`p4update-explore`).
+    Byzantine,
 }
 
 impl ChoiceKind {
@@ -34,6 +40,7 @@ impl ChoiceKind {
         match self {
             ChoiceKind::TieBreak => "tie",
             ChoiceKind::Fault => "fault",
+            ChoiceKind::Byzantine => "byz",
         }
     }
 
@@ -42,6 +49,7 @@ impl ChoiceKind {
         match s {
             "tie" => Some(ChoiceKind::TieBreak),
             "fault" => Some(ChoiceKind::Fault),
+            "byz" => Some(ChoiceKind::Byzantine),
             _ => None,
         }
     }
@@ -98,7 +106,11 @@ mod tests {
 
     #[test]
     fn kind_tokens_round_trip() {
-        for kind in [ChoiceKind::TieBreak, ChoiceKind::Fault] {
+        for kind in [
+            ChoiceKind::TieBreak,
+            ChoiceKind::Fault,
+            ChoiceKind::Byzantine,
+        ] {
             assert_eq!(ChoiceKind::from_token(kind.token()), Some(kind));
         }
         assert_eq!(ChoiceKind::from_token("bogus"), None);

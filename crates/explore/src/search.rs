@@ -35,6 +35,9 @@ pub struct WalkOptions {
     pub fault_p: f64,
     /// Per-tie probability of a non-FIFO pick.
     pub tie_p: f64,
+    /// Per-choice-point probability of lying at a byzantine choice point
+    /// (only consulted when the scenario installs the byzantine catalog).
+    pub byz_p: f64,
 }
 
 impl Default for WalkOptions {
@@ -48,8 +51,20 @@ impl Default for WalkOptions {
             walk_seed: 0,
             fault_p: 0.04,
             tie_p: 0.05,
+            // Byzantine points are rare (only applicable messages from
+            // budget-eligible senders emit one), so lying can afford to be
+            // much denser than fault injection without stalling the run.
+            byz_p: 0.25,
         }
     }
+}
+
+/// The search oracle's "did the system actually break" predicate: forged-
+/// reject records are successful *defenses* (a lie was caught and
+/// reported), so a run whose only violations are forgery rejections kept
+/// every safety property and must not count as a counterexample.
+fn breached(violations: &[p4update_core::Violation]) -> bool {
+    violations.iter().any(|v| !v.is_forgery_rejection())
 }
 
 /// Random-walk exploration: repeatedly run `scenario` with random
@@ -70,9 +85,10 @@ pub fn random_walk(
             rng,
             fault_p: opts.fault_p,
             tie_p: opts.tie_p,
+            byz_p: opts.byz_p,
         };
         let report = run(scenario, seed, BTreeMap::new(), free)?;
-        if !report.violations.is_empty() {
+        if breached(&report.violations) {
             let mut trace = Trace::from_choices(scenario, seed, &report.choices);
             let pinned = pin(&mut trace)?;
             debug_assert_eq!(pinned.violations, report.violations);
@@ -132,7 +148,7 @@ pub fn systematic(
         }
         runs_used += 1;
         let report = run(scenario, seed, forced.clone(), FreePolicy::Default)?;
-        if !report.violations.is_empty() {
+        if breached(&report.violations) {
             let mut trace = Trace::from_choices(scenario, seed, &report.choices);
             let pinned = pin(&mut trace)?;
             return Ok(Some(SearchOutcome {

@@ -13,9 +13,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod byzantine;
 pub mod types;
 pub mod wire;
 
+pub use byzantine::{ByzDelivery, ByzVector};
 pub use types::{
     CentralMsg, Cleanup, DataPacket, EzMsg, EzPriority, EzSegmentKind, Frm, Message, RejectReason,
     Ufm, UfmStatus, Uim, Unm, UnmLayer, UpdateKind,

@@ -113,6 +113,43 @@ pub enum RejectReason {
     /// The new outgoing link lacks remaining capacity; the update is
     /// deferred, not dropped (§7.4).
     InsufficientCapacity,
+    /// The notification did not arrive from the node's staged child on
+    /// the new path. Distance arithmetic alone can be satisfied by an
+    /// equivocating neighbor's forged notification; binding acceptance to
+    /// the staged next hop closes that hole (byzantine vector `equiv`).
+    UnexpectedSender,
+}
+
+impl RejectReason {
+    /// Stable kebab-case token, used by the `forged-reject` violation
+    /// encoding (`p4update-core`) and in diagnostics. Committed trace
+    /// files depend on these exact strings.
+    pub fn token(self) -> &'static str {
+        match self {
+            RejectReason::DistanceMismatch => "distance-mismatch",
+            RejectReason::OutdatedVersion => "outdated-version",
+            RejectReason::OldDistanceViolation => "old-distance-violation",
+            RejectReason::DualAfterDual => "dual-after-dual",
+            RejectReason::FlowSizeChanged => "flow-size-changed",
+            RejectReason::InsufficientCapacity => "insufficient-capacity",
+            RejectReason::UnexpectedSender => "unexpected-sender",
+        }
+    }
+
+    /// Inverse of [`RejectReason::token`].
+    pub fn from_token(s: &str) -> Option<Self> {
+        [
+            RejectReason::DistanceMismatch,
+            RejectReason::OutdatedVersion,
+            RejectReason::OldDistanceViolation,
+            RejectReason::DualAfterDual,
+            RejectReason::FlowSizeChanged,
+            RejectReason::InsufficientCapacity,
+            RejectReason::UnexpectedSender,
+        ]
+        .into_iter()
+        .find(|r| r.token() == s)
+    }
 }
 
 /// Status carried by a UFM.
@@ -406,6 +443,22 @@ mod tests {
             layer: UnmLayer::Intra,
         })
         .is_controller_bound());
+    }
+
+    #[test]
+    fn reject_reason_tokens_round_trip() {
+        for r in [
+            RejectReason::DistanceMismatch,
+            RejectReason::OutdatedVersion,
+            RejectReason::OldDistanceViolation,
+            RejectReason::DualAfterDual,
+            RejectReason::FlowSizeChanged,
+            RejectReason::InsufficientCapacity,
+            RejectReason::UnexpectedSender,
+        ] {
+            assert_eq!(RejectReason::from_token(r.token()), Some(r));
+        }
+        assert_eq!(RejectReason::from_token("meltdown"), None);
     }
 
     #[test]

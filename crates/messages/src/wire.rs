@@ -152,6 +152,7 @@ fn reason_to_u8(r: RejectReason) -> u8 {
         RejectReason::DualAfterDual => 3,
         RejectReason::FlowSizeChanged => 4,
         RejectReason::InsufficientCapacity => 5,
+        RejectReason::UnexpectedSender => 6,
     }
 }
 
@@ -163,6 +164,7 @@ fn reason_from_u8(b: u8) -> Result<RejectReason, WireError> {
         3 => RejectReason::DualAfterDual,
         4 => RejectReason::FlowSizeChanged,
         5 => RejectReason::InsufficientCapacity,
+        6 => RejectReason::UnexpectedSender,
         _ => return Err(WireError::BadField("reason")),
     })
 }
@@ -406,6 +408,7 @@ mod tests {
             RejectReason::DualAfterDual,
             RejectReason::FlowSizeChanged,
             RejectReason::InsufficientCapacity,
+            RejectReason::UnexpectedSender,
         ] {
             roundtrip(Message::Ufm(Ufm {
                 flow: FlowId(5),

@@ -18,9 +18,14 @@ pub mod table;
 
 pub use checker::{check, FlowSpec, Violation};
 pub use config::{
-    ControlLatency, FaultChoiceConfig, FaultConfig, InstallDelay, SimConfig, TimingConfig,
+    ByzantineConfig, ControlLatency, FaultChoiceConfig, FaultConfig, InstallDelay,
+    ReplicationConfig, SimConfig, TimingConfig,
 };
 pub use metrics::{Metrics, MetricsCounts, MetricsSink, NullMetrics, StreamingMetrics};
-pub use network::{simulation, ControllerImpl, Event, GateStats, NetworkSim, PathTables, System};
+pub use network::{
+    simulation, ByzDisposition, ByzOutcome, ControllerImpl, Event, GateStats, NetworkSim,
+    PathTables, System,
+};
+pub use p4update_messages::ByzVector;
 pub use partition::{event_router, LookaheadViolation, PartitionedSim};
 pub use table::SwitchTable;

@@ -15,7 +15,7 @@ use p4update_baselines::{CentralController, CentralSwitchLogic, EzController, Ez
 use p4update_core::{prepare_update, P4UpdateController, P4UpdateLogic, PreparedUpdate, Strategy};
 use p4update_dataplane::{ControllerLogic, CtrlEffect, Effect, Endpoint, Switch, SwitchLogic};
 use p4update_des::{ChoiceKind, Scheduler, SimDuration, SimRng, SimTime, Simulation, World};
-use p4update_messages::{DataPacket, Message};
+use p4update_messages::{ByzDelivery, ByzVector, DataPacket, Message, RejectReason, UfmStatus};
 use p4update_net::{latency_distances_from, FlowId, FlowUpdate, NodeId, Path, Topology, Version};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -198,6 +198,56 @@ impl ControllerImpl {
     }
 }
 
+/// One in-flight byzantine-corrupted message: recorded when the lie is
+/// scheduled, consumed (and classified into a [`ByzOutcome`]) when the
+/// receiver processes it.
+pub(crate) struct ByzTaint {
+    /// Where the corrupted copy is headed.
+    pub(crate) dest: Endpoint,
+    /// The corrupted payload (matched by equality at delivery).
+    pub(crate) msg: Message,
+    /// Which catalog vector produced it.
+    pub(crate) vector: ByzVector,
+    /// The lying switch.
+    pub(crate) liar: NodeId,
+}
+
+/// What a byzantine-corrupted message did at its receiver — the raw
+/// material of the detector-completeness suite: every lie a run injects
+/// must land in exactly one of these buckets; none may vanish silently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ByzDisposition {
+    /// The receiver's local verification caught the lie and raised an
+    /// alarm UFM; a [`Violation::ForgedReject`] with the same reason is
+    /// recorded alongside.
+    Rejected(RejectReason),
+    /// The receiver acted on the lie — state changed, a rule install
+    /// began, or follow-on messages were sent. For a system without
+    /// local verification (ez-Segway) this is the expected bucket.
+    Accepted,
+    /// The receiver neither rejected nor acted (e.g. the lie parked
+    /// waiting for a UIM that never names it, or deduplicated away).
+    Ignored,
+    /// The lie went to the controller, which has no label to verify it
+    /// against — undetectable *locally* by construction (forged UFMs).
+    Undetectable,
+}
+
+/// Classification record for one delivered lie (see [`ByzDisposition`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ByzOutcome {
+    /// When the lie was processed.
+    pub at: SimTime,
+    /// The lying switch.
+    pub liar: NodeId,
+    /// Who received it.
+    pub receiver: Endpoint,
+    /// Which catalog vector it was.
+    pub vector: ByzVector,
+    /// What happened.
+    pub disposition: ByzDisposition,
+}
+
 /// Outcome of a per-message fault choice point (see
 /// [`crate::config::FaultChoiceConfig`]).
 enum FaultDecision {
@@ -285,6 +335,10 @@ pub enum Event {
     },
     /// The controller's loss-recovery timer fires (§11).
     ControllerTimer,
+    /// The primary controller fails; the first standby replica takes over
+    /// (see [`crate::config::ReplicationConfig`]). Scheduled once by
+    /// [`simulation`] when replication is configured with a failover time.
+    ControllerFailover,
 }
 
 /// The simulated network world.
@@ -329,6 +383,19 @@ pub struct NetworkSim {
     pub(crate) gate_cache: Option<BatchAnalysis>,
     /// Work counters of the incremental analysis gate.
     pub gate_stats: GateStats,
+    /// Switches that have taken a lying alternative at a byzantine choice
+    /// point, in first-lie order (bounds enforcement for
+    /// `ByzantineConfig::max_liars`).
+    pub(crate) liars: Vec<NodeId>,
+    /// In-flight corrupted messages awaiting delivery classification.
+    pub(crate) byz_taints: Vec<ByzTaint>,
+    /// Per-lie classification log (see [`ByzOutcome`]).
+    pub byz_outcomes: Vec<ByzOutcome>,
+    /// Standby controller replicas (shadow state machines; see
+    /// [`crate::config::ReplicationConfig`]).
+    pub(crate) standbys: Vec<ControllerImpl>,
+    /// Whether [`Event::ControllerFailover`] has fired.
+    pub failed_over: bool,
 }
 
 /// Work counters of the sim's incremental analysis gate: how much linting
@@ -381,7 +448,7 @@ impl NetworkSim {
             };
             Switch::new(id, &topo, logic)
         });
-        let controller = match system {
+        let make_controller = || match system {
             System::P4Update(strategy) => {
                 // The NIB lets the controller set up paths for flows the
                 // data plane reports via FRMs (§6).
@@ -398,6 +465,12 @@ impl NetworkSim {
                 CentralController::new()
             }),
         };
+        let controller = make_controller();
+        // Replicas beyond the primary are identically-constructed shadow
+        // state machines (capped at 3 total, per the model).
+        let standbys = (1..config.replication.replicas.min(3))
+            .map(|_| make_controller())
+            .collect();
         let n = topo.node_count();
         let _ = rng.fork(0); // reserve a stream for future model components
         NetworkSim {
@@ -418,6 +491,11 @@ impl NetworkSim {
             gate_cache: None,
             gate_stats: GateStats::default(),
             scratch: Vec::new(),
+            liars: Vec::new(),
+            byz_taints: Vec::new(),
+            byz_outcomes: Vec::new(),
+            standbys,
+            failed_over: false,
         }
     }
 
@@ -530,6 +608,13 @@ impl NetworkSim {
         if let ControllerImpl::P4(c) = &mut self.controller {
             c.register_flow(flow, Version(1));
         }
+        // Standby replicas mirror the primary's flow registry so a
+        // post-failover controller assigns the same versions.
+        for s in &mut self.standbys {
+            if let ControllerImpl::P4(c) = s {
+                c.register_flow(flow, Version(1));
+            }
+        }
         self.flows.insert(
             flow,
             FlowSpec {
@@ -606,6 +691,193 @@ impl NetworkSim {
         }
     }
 
+    /// Resolve one outbound control message's byzantine decision through
+    /// the choice-point seam (when `SimConfig::byzantine` is installed).
+    /// Emits a `ChoiceKind::Byzantine` choice point only when some catalog
+    /// vector applies to `msg` *and* the sender is allowed to lie (it
+    /// already lied, or the liar budget has room). Alternative 0 — the
+    /// default — means "send honestly" and has zero side effects: no RNG
+    /// draw, no state change, no extra event, which is what keeps
+    /// byzantine-enabled-but-honest runs identical to the plain engine.
+    fn byz_choice(
+        &mut self,
+        node: NodeId,
+        msg: &Message,
+        sched: &mut Scheduler<Event>,
+    ) -> Option<ByzVector> {
+        let bc = self.config.byzantine?;
+        let is_liar = self.liars.contains(&node);
+        if !is_liar && self.liars.len() >= bc.max_liars as usize {
+            return None;
+        }
+        let applicable = ByzVector::applicable(bc.vector, msg);
+        if applicable.is_empty() {
+            return None;
+        }
+        let pick = sched.choose(ChoiceKind::Byzantine, applicable.len() + 1);
+        if pick == 0 || pick > applicable.len() {
+            return None;
+        }
+        if !is_liar {
+            self.liars.push(node);
+        }
+        Some(applicable[pick - 1])
+    }
+
+    /// Ship a lying switch's corrupted switch-to-switch message according
+    /// to the vector's delivery mode, recording the taint so the delivery
+    /// can be classified (see [`ByzOutcome`]).
+    fn send_byz_switch(
+        &mut self,
+        liar: NodeId,
+        to: NodeId,
+        msg: Message,
+        vector: ByzVector,
+        base: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let lie = vector.corrupt(&msg).expect("vector was applicable");
+        let delay = ms(self.config.byzantine.expect("byz config present").delay_ms);
+        let at = base + self.transit(liar, to) + self.fault_jitter();
+        let deliver = |msg| Event::DeliverToSwitch {
+            node: to,
+            from: Endpoint::Switch(liar),
+            msg,
+        };
+        match vector.delivery() {
+            ByzDelivery::Replace => {
+                self.byz_taints.push(ByzTaint {
+                    dest: Endpoint::Switch(to),
+                    msg: lie.clone(),
+                    vector,
+                    liar,
+                });
+                sched.schedule_at(at, deliver(lie));
+            }
+            ByzDelivery::ExtraDelayed => {
+                sched.schedule_at(at, deliver(msg));
+                self.byz_taints.push(ByzTaint {
+                    dest: Endpoint::Switch(to),
+                    msg: lie.clone(),
+                    vector,
+                    liar,
+                });
+                sched.schedule_at(at + delay, deliver(lie));
+            }
+            ByzDelivery::ExtraToOtherNeighbor => {
+                sched.schedule_at(at, deliver(msg));
+                // Equivocate toward the lowest-id *other* neighbor; a
+                // degree-1 liar has nobody else to lie to.
+                let other = self
+                    .topo
+                    .neighbors(liar)
+                    .iter()
+                    .map(|&(n, _)| n)
+                    .filter(|&n| n != to)
+                    .min();
+                if let Some(other) = other {
+                    let at2 = base + self.transit(liar, other) + self.fault_jitter();
+                    self.byz_taints.push(ByzTaint {
+                        dest: Endpoint::Switch(other),
+                        msg: lie.clone(),
+                        vector,
+                        liar,
+                    });
+                    sched.schedule_at(
+                        at2,
+                        Event::DeliverToSwitch {
+                            node: other,
+                            from: Endpoint::Switch(liar),
+                            msg: lie,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Classify what a just-delivered lie did at switch `node`, from the
+    /// effects its processing produced and the before/after UIB state.
+    /// A raised alarm is a local rejection — the defense the paper's
+    /// verification promises — and is additionally recorded as a
+    /// [`Violation::ForgedReject`] so traces can pin it.
+    fn classify_taint(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        taint: ByzTaint,
+        before: Option<p4update_dataplane::UibEntry>,
+        effects: &[Effect],
+    ) {
+        let mut disposition = ByzDisposition::Ignored;
+        for e in effects {
+            if let Effect::SendController {
+                msg: Message::Ufm(ufm),
+            } = e
+            {
+                if let UfmStatus::Alarm(reason) = ufm.status {
+                    disposition = ByzDisposition::Rejected(reason);
+                    let v = Violation::ForgedReject {
+                        flow: ufm.flow,
+                        at: node,
+                        reason,
+                    };
+                    if !self.violations.iter().any(|(_, existing)| *existing == v) {
+                        self.violations.push((now, v));
+                    }
+                    break;
+                }
+            }
+        }
+        if disposition == ByzDisposition::Ignored {
+            let after = taint
+                .msg
+                .flow()
+                .map(|f| self.switches[node].state.uib.read(f));
+            let acted = effects.iter().any(|e| {
+                matches!(
+                    e,
+                    Effect::BeginInstall { .. }
+                        | Effect::SendSwitch { .. }
+                        | Effect::SendController { .. }
+                )
+            });
+            if before != after || acted {
+                disposition = ByzDisposition::Accepted;
+            }
+        }
+        self.byz_outcomes.push(ByzOutcome {
+            at: now,
+            liar: taint.liar,
+            receiver: Endpoint::Switch(node),
+            vector: taint.vector,
+            disposition,
+        });
+    }
+
+    /// Mirror a delivered controller message into the standby replicas
+    /// (outputs discarded — shadows don't talk), unless it falls inside
+    /// the replication-lag window just before a pending failover, in
+    /// which case the standbys never learn of it.
+    fn feed_standbys_msg(&mut self, now: SimTime, from: NodeId, msg: &Message) {
+        if self.standbys.is_empty() {
+            return;
+        }
+        let r = self.config.replication;
+        if !self.failed_over
+            && r.failover_at_ms > 0.0
+            && now.as_millis_f64() >= r.failover_at_ms - r.lag_ms
+        {
+            return; // lost in the dead primary's replication pipeline
+        }
+        let mut discard = Vec::new();
+        for s in &mut self.standbys {
+            s.as_logic()
+                .on_message(now, from, msg.clone(), &mut discard);
+            discard.clear();
+        }
+    }
+
     fn fault_jitter(&mut self) -> SimDuration {
         let j = self.config.faults.jitter_ms;
         if j <= 0.0 {
@@ -631,6 +903,13 @@ impl NetworkSim {
                         self.sink.record_control_drop();
                         continue;
                     }
+                    if let Some(vector) = self.byz_choice(node, &msg, sched) {
+                        // A lying send replaces the whole honest delivery
+                        // path (no separate fault choice: the lie is the
+                        // fault).
+                        self.send_byz_switch(node, to, msg, vector, base, sched);
+                        continue;
+                    }
                     let decision = if matches!(msg, Message::Data(_)) {
                         FaultDecision::Deliver // data is never fault-injected
                     } else {
@@ -652,7 +931,22 @@ impl NetworkSim {
                         }
                     }
                 }
-                Effect::SendController { msg } => {
+                Effect::SendController { mut msg } => {
+                    if let Some(vector) = self.byz_choice(node, &msg, sched) {
+                        // Controller-bound lies (forged UFMs) replace the
+                        // honest message and ride the normal delivery
+                        // path below; the controller has no label to
+                        // check them against, so the taint classifies as
+                        // locally undetectable on arrival.
+                        let lie = vector.corrupt(&msg).expect("vector was applicable");
+                        self.byz_taints.push(ByzTaint {
+                            dest: Endpoint::Controller,
+                            msg: lie.clone(),
+                            vector,
+                            liar: node,
+                        });
+                        msg = lie;
+                    }
                     if let ControlLatency::NormalMs { floor_ms, .. } = self.config.timing.control {
                         // The latency draw happens controller-side (see
                         // [`Event::CtrlIngress`]); the switch only knows the
@@ -880,11 +1174,29 @@ impl World for NetworkSim {
                 if matches!(msg, Message::Unm(_)) {
                     self.sink.record_unm_delivery(now, node);
                 }
+                // Pull a matching taint *before* processing so the
+                // pre-delivery UIB entry can anchor the classification.
+                let taint = self
+                    .byz_taints
+                    .iter()
+                    .position(|t| {
+                        t.dest == Endpoint::Switch(node)
+                            && Endpoint::Switch(t.liar) == from
+                            && t.msg == msg
+                    })
+                    .map(|i| self.byz_taints.remove(i));
+                let before = taint
+                    .as_ref()
+                    .and_then(|t| t.msg.flow())
+                    .map(|f| self.switches[node].state.uib.read(f));
                 let mut effects = std::mem::take(&mut self.scratch);
                 self.switches
                     .get_mut(node)
                     .expect("switch exists")
                     .handle_message_into(now, from, msg, &mut effects);
+                if let Some(t) = taint {
+                    self.classify_taint(now, node, t, before, &effects);
+                }
                 self.apply_switch_effects(node, done, &mut effects, sched);
                 self.scratch = effects;
                 self.arm_poll(node, sched);
@@ -965,6 +1277,21 @@ impl World for NetworkSim {
                 );
             }
             Event::ControllerExec { from, msg } => {
+                if let Some(i) = self
+                    .byz_taints
+                    .iter()
+                    .position(|t| t.dest == Endpoint::Controller && t.liar == from && t.msg == msg)
+                {
+                    let t = self.byz_taints.remove(i);
+                    self.byz_outcomes.push(ByzOutcome {
+                        at: now,
+                        liar: t.liar,
+                        receiver: Endpoint::Controller,
+                        vector: t.vector,
+                        disposition: ByzDisposition::Undetectable,
+                    });
+                }
+                self.feed_standbys_msg(now, from, &msg);
                 let mut out = Vec::new();
                 self.controller
                     .as_logic()
@@ -996,6 +1323,13 @@ impl World for NetworkSim {
                 self.controller
                     .as_logic()
                     .start_update(now, &updates, &mut out);
+                // Shadow replicas see the same trigger (outputs dropped)
+                // so a post-failover primary holds the same pending state.
+                let mut discard = Vec::new();
+                for s in &mut self.standbys {
+                    s.as_logic().start_update(now, &updates, &mut discard);
+                    discard.clear();
+                }
                 self.apply_ctrl_effects(base, out, sched);
                 if self.config.retry_ms > 0.0 {
                     sched.schedule_in(ms(self.config.retry_ms), Event::ControllerTimer);
@@ -1008,6 +1342,18 @@ impl World for NetworkSim {
                 self.apply_ctrl_effects(base, out, sched);
                 if keep_going && self.config.retry_ms > 0.0 {
                     sched.schedule_in(ms(self.config.retry_ms), Event::ControllerTimer);
+                }
+            }
+            Event::ControllerFailover => {
+                if !self.failed_over && !self.standbys.is_empty() {
+                    self.failed_over = true;
+                    self.controller = self.standbys.remove(0);
+                    // The new primary's view may be stale (replication
+                    // lag); the §11 recovery timer is what reconciles
+                    // in-flight updates, so re-arm it immediately.
+                    if self.config.retry_ms > 0.0 {
+                        sched.schedule_in(ms(self.config.retry_ms), Event::ControllerTimer);
+                    }
                 }
             }
         }
@@ -1023,10 +1369,18 @@ pub fn simulation(world: NetworkSim) -> Simulation<NetworkSim> {
     // multiple of it avoids every steady-state reallocation.
     let capacity = world.topology().node_count() * 8 + 1024;
     let backend = world.config().queue_backend;
-    Simulation::new(world)
+    let replication = world.config().replication;
+    let mut sim = Simulation::new(world)
         .with_event_budget(20_000_000)
         .with_queue_backend(backend)
-        .with_queue_capacity(capacity)
+        .with_queue_capacity(capacity);
+    if replication.enabled() && replication.failover_at_ms > 0.0 {
+        sim.schedule_at(
+            SimTime::ZERO + ms(replication.failover_at_ms),
+            Event::ControllerFailover,
+        );
+    }
+    sim
 }
 
 #[cfg(test)]
@@ -1183,7 +1537,8 @@ mod tests {
             fn choose(&mut self, kind: ChoiceKind, _arity: usize) -> usize {
                 match kind {
                     ChoiceKind::TieBreak => 0,
-                    ChoiceKind::Fault => 1, // drop
+                    ChoiceKind::Fault => 1,     // drop
+                    ChoiceKind::Byzantine => 0, // honest
                 }
             }
         }
@@ -1203,6 +1558,127 @@ mod tests {
         assert!(world.metrics().completions.is_empty());
         assert!(world.violations.is_empty(), "{:?}", world.violations);
         assert!(world.metrics().control_drops > 0);
+    }
+
+    /// Installing the byzantine catalog without ever taking a lying
+    /// alternative changes nothing: alternative 0 draws no randomness and
+    /// schedules nothing, so the run is byte-identical to the plain
+    /// engine.
+    #[test]
+    fn byzantine_catalog_with_default_chooser_changes_nothing() {
+        let run = |byz: bool| {
+            let topo = topologies::fig1();
+            let mut config =
+                SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), 1).paranoid();
+            if byz {
+                config = config.with_byzantine(crate::config::ByzantineConfig::default());
+            }
+            let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
+            let old = Path::new(topologies::fig1_old_path());
+            let new = Path::new(topologies::fig1_new_path());
+            world.install_initial_path(FlowId(0), &old, 1.0);
+            let batch = world.add_batch(vec![FlowUpdate::new(FlowId(0), Some(old), new, 1.0)]);
+            let mut sim = simulation(world);
+            sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+            assert!(sim.run().drained());
+            let events = sim.events_delivered();
+            let world = sim.into_world();
+            assert!(world.byz_outcomes.is_empty());
+            (
+                events,
+                world.metrics().completions.clone(),
+                world.violations,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// A switch that always lies about its dependency labels is caught by
+    /// its upstream neighbor's local verification: the lie is rejected
+    /// with an alarm, recorded as a `ForgedReject`, and no real
+    /// consistency breach occurs.
+    #[test]
+    fn p4update_rejects_a_dependency_lie_locally() {
+        struct AlwaysLie;
+        impl p4update_des::Chooser for AlwaysLie {
+            fn choose(&mut self, kind: ChoiceKind, _arity: usize) -> usize {
+                match kind {
+                    ChoiceKind::Byzantine => 1,
+                    _ => 0,
+                }
+            }
+        }
+        let topo = topologies::fig1();
+        let config = SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), 1)
+            .paranoid()
+            .with_byzantine(crate::config::ByzantineConfig {
+                vector: Some(ByzVector::DependencyLie),
+                ..Default::default()
+            });
+        let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
+        let old = Path::new(topologies::fig1_old_path());
+        let new = Path::new(topologies::fig1_new_path());
+        world.install_initial_path(FlowId(0), &old, 1.0);
+        let batch = world.add_batch(vec![FlowUpdate::new(FlowId(0), Some(old), new, 1.0)]);
+        let mut sim = simulation(world).with_chooser(Box::new(AlwaysLie));
+        sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        assert!(sim.run().drained());
+        let world = sim.into_world();
+        assert!(
+            world
+                .byz_outcomes
+                .iter()
+                .any(|o| matches!(o.disposition, ByzDisposition::Rejected(_))),
+            "no lie was rejected: {:?}",
+            world.byz_outcomes
+        );
+        assert!(world
+            .violations
+            .iter()
+            .any(|(_, v)| v.is_forgery_rejection()));
+        // Defense records only — no actual safety breach.
+        assert!(world
+            .violations
+            .iter()
+            .all(|(_, v)| v.is_forgery_rejection()));
+        assert_eq!(world.liars.len(), 1);
+    }
+
+    /// Deterministic mid-update failover: the standby replica takes over
+    /// and the §11 recovery timer finishes the update, despite the
+    /// replication-lag window having swallowed part of the primary's
+    /// feedback.
+    #[test]
+    fn controller_failover_mid_update_still_completes() {
+        let topo = topologies::fig1();
+        let config = SimConfig::new(TimingConfig::wan_multi_flow(topo.centroid()), 1)
+            .paranoid()
+            .with_retry_ms(40.0)
+            .with_replication(crate::config::ReplicationConfig {
+                replicas: 2,
+                failover_at_ms: 50.0,
+                lag_ms: 25.0,
+            });
+        let mut world = NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None);
+        let old = Path::new(topologies::fig1_old_path());
+        let new = Path::new(topologies::fig1_new_path());
+        world.install_initial_path(FlowId(0), &old, 1.0);
+        let batch = world.add_batch(vec![FlowUpdate::new(FlowId(0), Some(old), new, 1.0)]);
+        let mut sim = simulation(world);
+        sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+        assert!(sim.run().drained());
+        let world = sim.into_world();
+        assert!(world.failed_over);
+        assert!(world.standbys.is_empty());
+        assert!(
+            world
+                .metrics()
+                .completions
+                .iter()
+                .any(|&(_, f, _)| f == FlowId(0)),
+            "update did not complete after failover"
+        );
+        assert!(world.violations.is_empty(), "{:?}", world.violations);
     }
 
     #[test]

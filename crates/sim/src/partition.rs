@@ -506,6 +506,10 @@ impl ShardCtx {
                     );
                 }
             }
+            Event::ControllerFailover => {
+                // Replication configs are refused at construction.
+                unreachable!("controller failover event in the partitioned engine")
+            }
         }
     }
 
@@ -681,6 +685,17 @@ impl PartitionedSim {
         if config.paranoid {
             return Err("paranoid checking walks global state; use the sequential engine".into());
         }
+        if config.byzantine.is_some() {
+            return Err(
+                "byzantine choice points and taint tracking need the sequential engine".into(),
+            );
+        }
+        if config.replication.enabled() {
+            return Err(
+                "controller replication swaps global controller state; use the sequential engine"
+                    .into(),
+            );
+        }
         if config.analysis_gate {
             return Err(
                 "the analysis gate runs controller-global; disable it or use the sequential engine"
@@ -744,6 +759,11 @@ impl PartitionedSim {
             analysis_findings,
             gate_cache,
             gate_stats,
+            liars: _,
+            byz_taints: _,
+            byz_outcomes: _,
+            standbys: _,
+            failed_over: _,
         } = world;
         let topo = Arc::new(topo);
 
@@ -884,7 +904,8 @@ impl PartitionedSim {
             | Event::CtrlIngress { .. }
             | Event::ControllerExec { .. }
             | Event::Trigger { .. }
-            | Event::ControllerTimer => self.ctrl_shard,
+            | Event::ControllerTimer
+            | Event::ControllerFailover => self.ctrl_shard,
         }
     }
 
@@ -1104,6 +1125,11 @@ impl PartitionedSim {
             analysis_findings,
             gate_cache,
             gate_stats,
+            liars: Vec::new(),
+            byz_taints: Vec::new(),
+            byz_outcomes: Vec::new(),
+            standbys: Vec::new(),
+            failed_over: false,
         }
     }
 }
@@ -1144,7 +1170,8 @@ pub fn event_router<P: Partitioner + ?Sized>(
         | Event::CtrlIngress { .. }
         | Event::ControllerExec { .. }
         | Event::Trigger { .. }
-        | Event::ControllerTimer => ctrl,
+        | Event::ControllerTimer
+        | Event::ControllerFailover => ctrl,
     })
 }
 
@@ -1276,6 +1303,36 @@ mod tests {
         let mut faulty = base;
         faulty.faults.drop_ctrl_to_switch = 0.1;
         assert!(PartitionedSim::new(mk(faulty), &SinglePartition, 1).is_err());
+    }
+
+    /// Byzantine and replication configs are refused at construction with
+    /// the same structured error in every build profile — the refusal must
+    /// not hide behind a debug assertion or the debug-only analysis-gate
+    /// default (which this test pins by running `base` through both
+    /// explicit gate settings).
+    #[test]
+    fn byzantine_and_replication_configs_are_rejected() {
+        let mk = |config: SimConfig| {
+            let topo = topologies::fig1();
+            NetworkSim::new(topo, System::P4Update(Strategy::Auto), config, None)
+        };
+        for gate in [false, cfg!(debug_assertions)] {
+            let base = SimConfig::new(TimingConfig::fat_tree(), 1).with_analysis_gate(gate);
+            let byz = base.with_byzantine(crate::config::ByzantineConfig::default());
+            let err = PartitionedSim::new(mk(byz), &SinglePartition, 1)
+                .err()
+                .expect("byzantine config must be refused");
+            assert!(err.contains("byzantine"), "unhelpful error: {err}");
+            let repl = base.with_replication(crate::config::ReplicationConfig {
+                replicas: 2,
+                failover_at_ms: 10.0,
+                lag_ms: 0.0,
+            });
+            let err = PartitionedSim::new(mk(repl), &SinglePartition, 1)
+                .err()
+                .expect("replication config must be refused");
+            assert!(err.contains("replication"), "unhelpful error: {err}");
+        }
     }
 
     /// The horizon splits a run without perturbing it (mirrors the

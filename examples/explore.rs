@@ -23,7 +23,7 @@
 //! cargo run --release --example explore -- fig2-ez --corpus tests/corpus
 //! ```
 
-use p4update::explore::scenarios::SCENARIOS;
+use p4update::explore::scenarios::{base_name, SCENARIOS};
 use p4update::explore::search::{
     random_walk, systematic, SearchOutcome, SystematicOptions, WalkOptions,
 };
@@ -36,7 +36,22 @@ struct Args {
     sys_runs: u32,
     walk_runs: u32,
     corpus: Option<std::path::PathBuf>,
+    byzantine: bool,
 }
+
+/// The byzantine smoke matrix: scenario-with-modifier names and whether
+/// the byzantine-only search budget is expected to break them. The split
+/// is the paper's §7 claim under lying switches: one forged-ack liar
+/// collapses ez-Segway's loop freedom, while P4Update locally rejects or
+/// ignores every catalog vector.
+const BYZ_SMOKE: &[(&str, bool)] = &[
+    ("fig2-ez+byz-ack-k1", true),
+    ("fig2-ez+byz-ack-k2", true),
+    ("fig2-p4+byz-ack-k1", false),
+    ("fig2-p4+byz-dep-k1", false),
+    ("fig2-p4+byz-equiv-k1", false),
+    ("fig2-p4+byz-stale-k1", false),
+];
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -45,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         sys_runs: SystematicOptions::default().runs,
         walk_runs: WalkOptions::default().runs,
         corpus: None,
+        byzantine: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -66,10 +82,15 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--walks: {e}"))?;
             }
             "--corpus" => args.corpus = Some(value("--corpus")?.into()),
+            "--byzantine" => args.byzantine = true,
             "--help" | "-h" => {
                 println!(
                     "usage: explore [SCENARIO ...] [--seed N] [--runs N] [--walks N] [--corpus DIR]\n\n\
                      scenarios:"
+                );
+                println!(
+                    "  --byzantine    run the byzantine smoke matrix (lying \
+                     switches; +byz-<vec>-k<N> scenario modifiers)"
                 );
                 for info in SCENARIOS {
                     println!(
@@ -85,7 +106,11 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     if args.scenarios.is_empty() {
-        args.scenarios = SCENARIOS.iter().map(|s| s.name.to_string()).collect();
+        args.scenarios = if args.byzantine {
+            BYZ_SMOKE.iter().map(|&(n, _)| n.to_string()).collect()
+        } else {
+            SCENARIOS.iter().map(|s| s.name.to_string()).collect()
+        };
     }
     Ok(args)
 }
@@ -100,6 +125,31 @@ fn write_trace(dir: &std::path::Path, stem: &str, trace: &Trace) -> std::io::Res
 
 /// Search one scenario; returns the counterexample, if any.
 fn search(name: &str, args: &Args) -> Result<Option<SearchOutcome>, String> {
+    if args.byzantine {
+        // Byzantine-only walks: no faults and near-default tie-breaks, so
+        // any hit is attributable to the lies rather than message loss.
+        let walk = WalkOptions {
+            runs: args.walk_runs,
+            walk_seed: 0,
+            fault_p: 0.0,
+            tie_p: 0.05,
+            byz_p: 0.5,
+        };
+        return match random_walk(name, args.seed, walk)? {
+            Some(hit) => {
+                println!(
+                    "  byzantine walk: violation after {} runs ({} forced decisions)",
+                    hit.runs_used,
+                    hit.trace.forced_count()
+                );
+                Ok(Some(hit))
+            }
+            None => {
+                println!("  byzantine walk: clean after {} runs", args.walk_runs);
+                Ok(None)
+            }
+        };
+    }
     let sys = SystematicOptions {
         runs: args.sys_runs,
         ..SystematicOptions::default()
@@ -140,10 +190,17 @@ fn main() {
 
     let mut failures = Vec::new();
     for name in &args.scenarios {
-        let Some(info) = SCENARIOS.iter().find(|s| s.name == *name) else {
+        let Some(info) = SCENARIOS.iter().find(|s| s.name == base_name(name)) else {
             eprintln!("error: unknown scenario {name:?} (try --help)");
             std::process::exit(2);
         };
+        // Modified scenarios inherit the base expectation unless the smoke
+        // matrix pins one (e.g. P4Update survives the forged-ack liar that
+        // breaks ez-Segway).
+        let expect_break = BYZ_SMOKE
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map_or(info.vulnerable, |&(_, b)| b);
         println!("== {name} (seed {}) ==", args.seed);
         println!("  {}", info.about);
 
@@ -167,6 +224,7 @@ fn main() {
             failures.push(format!("{name}: base schedule already violates"));
             continue;
         }
+        let _ = expect_break;
 
         let hit = match search(name, &args) {
             Ok(h) => h,
@@ -203,7 +261,7 @@ fn main() {
                         std::process::exit(2);
                     }
                 }
-                if !info.vulnerable {
+                if !expect_break {
                     failures.push(format!(
                         "{name}: found a violation but the scenario is marked safe: {target}"
                     ));
@@ -216,7 +274,7 @@ fn main() {
                         std::process::exit(2);
                     }
                 }
-                if info.vulnerable {
+                if expect_break {
                     failures.push(format!(
                         "{name}: marked vulnerable but the search budget found nothing"
                     ));

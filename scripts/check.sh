@@ -56,6 +56,17 @@ cargo test -q --release --test queue_equivalence
 echo "==> exploration smoke run (small budget; P4Update must stay clean)"
 cargo run -q --release --example explore -- fig2-ez fig2-p4 --runs 64 --walks 32
 
+# The byzantine corpus-replay coverage rides the corpus_replay step above
+# (the v2 traces live in tests/corpus/ with the rest). The smoke below
+# re-derives the headline split live: forged acks must break ez-Segway
+# and P4Update must survive every vector, or the explorer exits non-zero.
+if [[ "${FAST:-0}" != 1 ]]; then
+    echo "==> byzantine smoke (ez-Segway breaks, P4Update survives)"
+    cargo run -q --release --example explore -- --byzantine --walks 64
+else
+    echo "==> byzantine smoke skipped (FAST=1)"
+fi
+
 echo "==> perf smoke run (small scales; validates the emitted schema)"
 cargo run -q --release --example perf -- --smoke
 

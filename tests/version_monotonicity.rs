@@ -48,6 +48,9 @@ impl Chooser for RandomAdversary {
                     self.rng.uniform_usize(arity)
                 }
             }
+            // These scenarios never install the byzantine catalog, so no
+            // such choice point is ever emitted; stay honest regardless.
+            ChoiceKind::Byzantine => 0,
         }
     }
 }
