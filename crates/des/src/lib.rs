@@ -41,6 +41,7 @@ mod queue;
 mod rng;
 mod stats;
 mod time;
+mod window;
 
 pub use choice::{ChoiceKind, Chooser, FifoChooser};
 pub use engine::{EventRouter, RunOutcome, Scheduler, Simulation, World};
@@ -48,3 +49,4 @@ pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend};
 pub use rng::SimRng;
 pub use stats::{Reservoir, Samples};
 pub use time::{SimDuration, SimTime};
+pub use window::{ClassedQueue, FrontCache, Fronts};

@@ -1,0 +1,273 @@
+//! Queue and front-time hooks for windowed (conservative-lookahead)
+//! engines.
+//!
+//! A conservative parallel engine advances shards inside a window
+//! `[t_min, W)` that no cross-shard event can land in. Two pieces of
+//! bookkeeping dominate that loop when windows are small:
+//!
+//! - knowing each shard's *front* (earliest pending event) without
+//!   re-peeking every queue on every window, and
+//! - knowing each shard's *barrier front* — the earliest pending event
+//!   that could ever cause a cross-shard emission — which bounds how far
+//!   the window can be stretched past `t_min` (window coalescing).
+//!
+//! [`ClassedQueue`] splits a shard's pending events into a *main* class
+//! (events whose handlers may emit across shards) and a *deferred* class
+//! (events whose handler's transitive descendants provably stay
+//! shard-local, e.g. poll ticks that only re-arm themselves). Pops still
+//! come out in global `(time, seq)` order across both classes, so the
+//! delivery order is exactly that of a single queue; the split only
+//! exists so [`ClassedQueue::barrier_key`] can report the main-class
+//! front. [`FrontCache`] memoizes both fronts per shard with explicit
+//! dirty marking, so a barrier that touched three shards re-peeks three
+//! queues, not all of them.
+
+use crate::queue::{QueueBackend, QueueImpl};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A deferred-class entry, ordered like the main queue: min `(at, seq)`
+/// pops first (the heap is a max-heap, so the ordering is inverted).
+struct Deferred<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Deferred<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Deferred<E> {}
+impl<E> PartialOrd for Deferred<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Deferred<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A two-class event queue: the *main* class (any backend) holds events
+/// that may emit cross-shard; the *deferred* class (a small heap) holds
+/// events whose descendants provably stay local. [`Self::pop`] returns
+/// the global `(time, seq)` minimum over both classes — byte-identical
+/// delivery order to a single queue — while [`Self::barrier_key`] exposes
+/// the main-class front alone.
+pub struct ClassedQueue<E> {
+    main: QueueImpl<E>,
+    deferred: BinaryHeap<Deferred<E>>,
+}
+
+impl<E> ClassedQueue<E> {
+    /// An empty queue with the given main-class backend.
+    pub fn new(backend: QueueBackend) -> Self {
+        ClassedQueue {
+            main: QueueImpl::new(backend),
+            deferred: BinaryHeap::new(),
+        }
+    }
+
+    /// Insert an event; `deferred` selects the class. The classification
+    /// must be closed under the handler relation: a deferred event's
+    /// handler may only schedule further deferred (shard-local) events.
+    pub fn push(&mut self, at: SimTime, seq: u64, event: E, deferred: bool) {
+        if deferred {
+            self.deferred.push(Deferred { at, seq, event });
+        } else {
+            self.main.push(at, seq, event);
+        }
+    }
+
+    /// Remove and return the minimum-`(time, seq)` event of either class.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        let main = self.main.peek_key();
+        let def = self.deferred.peek().map(|d| (d.at, d.seq));
+        let from_main = match (main, def) {
+            (None, None) => return None,
+            (Some(m), Some(d)) => m < d,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+        };
+        if from_main {
+            self.main.pop()
+        } else {
+            self.deferred.pop().map(|d| (d.at, d.seq, d.event))
+        }
+    }
+
+    /// The key the next [`Self::pop`] would return.
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        let main = self.main.peek_key();
+        let def = self.deferred.peek().map(|d| (d.at, d.seq));
+        match (main, def) {
+            (Some(m), Some(d)) => Some(m.min(d)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// The main-class front: the earliest pending event that could emit
+    /// cross-shard. `None` means every pending event (if any) is deferred
+    /// — the shard can never again influence another shard.
+    pub fn barrier_key(&mut self) -> Option<(SimTime, u64)> {
+        self.main.peek_key()
+    }
+
+    /// Pending events across both classes.
+    pub fn len(&self) -> usize {
+        self.main.len() + self.deferred.len()
+    }
+
+    /// True when no events are pending in either class.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pre-size internal storage for roughly `capacity` pending events.
+    pub fn reserve(&mut self, capacity: usize) {
+        self.main.reserve(capacity);
+        // Deferred events (self-rearming timers) are a small minority.
+        self.deferred.reserve(capacity / 8);
+    }
+}
+
+/// A shard's cached front times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fronts {
+    /// Earliest pending event of any class (`None`: shard drained).
+    pub next: Option<SimTime>,
+    /// Earliest pending main-class (cross-capable) event.
+    pub barrier: Option<SimTime>,
+}
+
+/// Per-shard [`Fronts`] memo with explicit dirty marking: the window loop
+/// calls [`FrontCache::refresh`] each iteration, and only shards marked
+/// dirty since the last refresh (because they popped, received a push, or
+/// drained their side ledger) pay a re-peek.
+pub struct FrontCache {
+    fronts: Vec<Fronts>,
+    dirty: Vec<bool>,
+}
+
+impl FrontCache {
+    /// A cache for `n` shards, all initially dirty.
+    pub fn new(n: usize) -> Self {
+        FrontCache {
+            fronts: vec![Fronts::default(); n],
+            dirty: vec![true; n],
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn len(&self) -> usize {
+        self.fronts.len()
+    }
+
+    /// True when tracking no shards.
+    pub fn is_empty(&self) -> bool {
+        self.fronts.is_empty()
+    }
+
+    /// Mark shard `i`'s cached fronts stale.
+    pub fn mark_dirty(&mut self, i: usize) {
+        self.dirty[i] = true;
+    }
+
+    /// Whether shard `i` is marked stale.
+    pub fn is_dirty(&self, i: usize) -> bool {
+        self.dirty[i]
+    }
+
+    /// Current fronts for shard `i`, recomputing via `probe` only if the
+    /// shard is marked dirty.
+    pub fn refresh(&mut self, i: usize, probe: impl FnOnce() -> Fronts) -> Fronts {
+        if self.dirty[i] {
+            self.fronts[i] = probe();
+            self.dirty[i] = false;
+        }
+        self.fronts[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{EventQueue, HeapQueue};
+    use crate::rng::SimRng;
+
+    /// Pops interleave both classes in exact `(time, seq)` order — the
+    /// classed queue is observationally a single queue.
+    #[test]
+    fn classed_pop_order_matches_single_queue() {
+        for seed in 0..10 {
+            let mut rng = SimRng::new(seed);
+            let mut classed = ClassedQueue::new(QueueBackend::Calendar);
+            let mut single: HeapQueue<u64> = HeapQueue::new();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            for _ in 0..2_000 {
+                if rng.uniform_usize(3) > 0 || classed.is_empty() {
+                    let at = SimTime::from_nanos(now + rng.uniform_usize(1 << 24) as u64);
+                    let deferred = rng.uniform_usize(4) == 0;
+                    classed.push(at, seq, seq, deferred);
+                    single.push(at, seq, seq);
+                    seq += 1;
+                } else {
+                    assert_eq!(classed.peek_key(), single.peek_key(), "seed {seed}");
+                    let a = classed.pop().expect("non-empty");
+                    let b = single.pop().expect("same length");
+                    assert_eq!(a, b, "seed {seed}");
+                    now = a.0.as_nanos();
+                }
+                assert_eq!(classed.len(), single.len());
+            }
+        }
+    }
+
+    /// `barrier_key` tracks only the main class; a deferred-only queue
+    /// reports `None` even though events are pending.
+    #[test]
+    fn barrier_key_ignores_the_deferred_class() {
+        let mut q: ClassedQueue<u8> = ClassedQueue::new(QueueBackend::Heap);
+        q.push(SimTime::from_nanos(10), 0, 1, true);
+        q.push(SimTime::from_nanos(50), 1, 2, true);
+        assert_eq!(q.peek_key(), Some((SimTime::from_nanos(10), 0)));
+        assert_eq!(q.barrier_key(), None);
+        q.push(SimTime::from_nanos(30), 2, 3, false);
+        assert_eq!(q.barrier_key(), Some((SimTime::from_nanos(30), 2)));
+        // The earlier deferred event still pops first.
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), 0, 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(30), 2, 3)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(50), 1, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// The cache probes only dirty shards and returns memoized fronts for
+    /// clean ones.
+    #[test]
+    fn front_cache_probes_only_dirty_shards() {
+        let mut cache = FrontCache::new(3);
+        assert_eq!(cache.len(), 3);
+        let f0 = Fronts {
+            next: Some(SimTime::from_nanos(5)),
+            barrier: Some(SimTime::from_nanos(7)),
+        };
+        assert_eq!(cache.refresh(0, || f0), f0);
+        assert!(!cache.is_dirty(0));
+        // A clean shard must not invoke the probe.
+        assert_eq!(cache.refresh(0, || panic!("probed a clean shard")), f0);
+        cache.mark_dirty(0);
+        let f1 = Fronts {
+            next: None,
+            barrier: None,
+        };
+        assert_eq!(cache.refresh(0, || f1), f1);
+    }
+}

@@ -18,5 +18,7 @@ pub mod topologies;
 
 pub use flow::{Flow, FlowId, FlowUpdate, Version};
 pub use graph::{DirectedLink, Link, LinkId, Node, NodeId, Topology, TopologyBuilder};
-pub use partition::{min_cross_partition_latency, Partitioner, PodPartitioner, SinglePartition};
+pub use partition::{
+    min_cross_partition_latency, Partitioner, PodPartitioner, SinglePartition, StripePartitioner,
+};
 pub use path::{k_shortest_paths, latency_distances_from, shortest_path, Path};

@@ -95,6 +95,37 @@ impl Partitioner for PodPartitioner {
     }
 }
 
+/// Striped (round-robin) partitioning: node `i` goes to partition
+/// `i % partitions`.
+///
+/// Deliberately locality-oblivious — adjacent nodes usually land in
+/// different partitions, so nearly every link crosses the cut. Useful as
+/// an adversarial cut for correctness tests and as the fallback for
+/// topologies without the fat-tree name grammar the pod partitioner
+/// keys on.
+#[derive(Debug, Clone, Copy)]
+pub struct StripePartitioner {
+    partitions: usize,
+}
+
+impl StripePartitioner {
+    /// Stripe across `partitions` partitions (clamped to at least 1).
+    pub fn new(partitions: usize) -> Self {
+        StripePartitioner {
+            partitions: partitions.max(1),
+        }
+    }
+}
+
+impl Partitioner for StripePartitioner {
+    fn partitions(&self) -> usize {
+        self.partitions
+    }
+    fn partition_of(&self, node: NodeId) -> usize {
+        node.0 as usize % self.partitions
+    }
+}
+
 /// The conservative lookahead a partitioning yields: the minimum latency of
 /// any link whose endpoints live in different partitions.
 ///
@@ -172,6 +203,19 @@ mod tests {
             // cross-partition link can't beat the global minimum.
             assert_eq!(la, SimDuration::from_micros(50));
         }
+    }
+
+    #[test]
+    fn stripe_partitioner_round_robins_nodes() {
+        let topo = topologies::fig1();
+        let p = StripePartitioner::new(3);
+        assert_eq!(p.partitions(), 3);
+        for id in topo.node_ids() {
+            assert_eq!(p.partition_of(id), id.index() % 3);
+        }
+        // An adjacent-node cut crosses links, so a lookahead exists.
+        assert!(min_cross_partition_latency(&topo, &p).is_some());
+        assert_eq!(StripePartitioner::new(0).partitions(), 1);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 pub use p4update_analysis::Json;
 
 // ---------------------------------------------------------------------------
-// Benchmark-artifact schema (v3) and validation.
+// Benchmark-artifact schema (v4) and validation.
 
 /// Schema tag of the emitted artifact; bump on layout changes. `v2` added
 /// the mandatory top-level `thread_scaling` section, the per-system
@@ -21,21 +21,29 @@ pub use p4update_analysis::Json;
 /// deterministic shape — partition count, conservative lookahead, window
 /// count, per-partition event counts — of a fixed-cut partitioned
 /// execution, including the parallel-only ft32768 scale in full
-/// artifacts.
-pub const SCHEMA: &str = "p4update-bench-v3";
+/// artifacts. `v4` adds the mandatory `overhead` section: the per-window
+/// cost of the windowed engine versus the sequential baseline — window
+/// counts, events per window, and wall ratios at partitions ∈ {1, 4}
+/// with coalescing/serial phases on and off — and requires the coalesced
+/// window count to undercut the fixed-window count at least fivefold.
+pub const SCHEMA: &str = "p4update-bench-v4";
 
 /// The systems every scale must report, in artifact order.
 pub const EXPECTED_SYSTEMS: [&str; 4] = ["p4update-sl", "p4update-dl", "ez-segway", "central"];
 
-/// Validate a benchmark artifact: schema tag (superseded v1/v2 artifacts
-/// are rejected by name), at least `min_scales` scales with no duplicate
-/// scale entries, exactly the four expected systems per scale with no
-/// duplicates, a well-formed two-level `thread_scaling` section, a
-/// well-formed mandatory `partitioning` section (full artifacts must
-/// carry the ft4096 and ft32768 entries), a well-formed `analysis`
-/// section (full artifacts must carry ft512 and ft4096 analysis scales),
-/// and finite, plausible numbers throughout. This is what the gate
-/// script runs against both the smoke output and the committed baseline.
+/// Validate a benchmark artifact: schema tag (superseded v1/v2/v3
+/// artifacts are rejected by name), at least `min_scales` scales with no
+/// duplicate scale entries, exactly the four expected systems per scale
+/// with no duplicates, a well-formed two-level `thread_scaling` section,
+/// a well-formed mandatory `partitioning` section (full artifacts must
+/// carry the ft4096 and ft32768 entries), a well-formed mandatory
+/// `overhead` section (windows, events-per-window and wall ratios at
+/// partitions ∈ {1, 4} × coalescing on/off, with the coalesced runs
+/// using at most a fifth of the fixed-window counts), a well-formed
+/// `analysis` section (full artifacts must carry ft512 and ft4096
+/// analysis scales), and finite, plausible numbers throughout. This is
+/// what the gate script runs against both the smoke output and the
+/// committed baseline.
 pub fn validate_report(doc: &Json, min_scales: usize) -> Result<(), String> {
     match doc.get("schema").and_then(Json::as_str) {
         Some(s) if s == SCHEMA => {}
@@ -49,6 +57,12 @@ pub fn validate_report(doc: &Json, min_scales: usize) -> Result<(), String> {
             return Err(format!(
                 "schema p4update-bench-v2 is obsolete (flat thread_scaling, no \
                  partitioning section); regenerate the artifact as {SCHEMA}"
+            ));
+        }
+        Some("p4update-bench-v3") => {
+            return Err(format!(
+                "schema p4update-bench-v3 is obsolete (no overhead section); \
+                 regenerate the artifact as {SCHEMA}"
             ));
         }
         other => return Err(format!("schema tag must be {SCHEMA:?}, got {other:?}")),
@@ -76,6 +90,10 @@ pub fn validate_report(doc: &Json, min_scales: usize) -> Result<(), String> {
         )?,
         min_scales,
     )?;
+    validate_overhead(doc.get("overhead").ok_or(
+        "missing overhead section (required by p4update-bench-v4; \
+         older artifacts must be regenerated)",
+    )?)?;
     validate_analysis(
         doc.get("analysis")
             .ok_or("missing analysis section (plans/sec of the static batch verifier)")?,
@@ -353,6 +371,93 @@ fn validate_partitioning(section: &Json, min_scales: usize) -> Result<(), String
     Ok(())
 }
 
+/// The (partitions, coalescing) grid every `overhead` section must
+/// report, in artifact order.
+const OVERHEAD_POINTS: [(f64, bool); 4] = [(1.0, true), (1.0, false), (4.0, true), (4.0, false)];
+
+/// Validate the mandatory `overhead` section: one scale's dual-layer
+/// workload through the windowed engine at partitions ∈ {1, 4} with
+/// coalescing/serial phases on and off, against the sequential run of
+/// the same world. Window counts and events-per-window are deterministic
+/// (they survive [`strip_timing`]); wall fields are optional after
+/// stripping but must be positive when present. The validator also pins
+/// the section's reason to exist: at every partition count, the
+/// coalesced run must use at most a fifth of the fixed-window run's
+/// windows.
+fn validate_overhead(section: &Json) -> Result<(), String> {
+    for key in ["scale", "system"] {
+        section
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("overhead: missing {key}"))?;
+    }
+    section
+        .get("events")
+        .and_then(Json::as_f64)
+        .filter(|&v| v.is_finite() && v >= 1.0)
+        .ok_or("overhead: events must be ≥ 1")?;
+    if let Some(v) = section.get("sequential_wall_secs") {
+        v.as_f64()
+            .filter(|&v| v.is_finite() && v > 0.0)
+            .ok_or("overhead: sequential_wall_secs must be positive")?;
+    }
+    let points = section
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("overhead: missing points array")?;
+    if points.len() != OVERHEAD_POINTS.len() {
+        return Err(format!(
+            "overhead: points must cover the (partitions, coalescing) grid \
+             {OVERHEAD_POINTS:?}, found {} points",
+            points.len()
+        ));
+    }
+    let mut windows = [0.0f64; 4];
+    for (i, (p, &(want_parts, want_coal))) in points.iter().zip(&OVERHEAD_POINTS).enumerate() {
+        let parts = p
+            .get("partitions")
+            .and_then(Json::as_f64)
+            .ok_or("overhead: point missing partitions")?;
+        let coal = p
+            .get("coalescing")
+            .and_then(Json::as_bool)
+            .ok_or("overhead: point missing coalescing")?;
+        if (parts, coal) != (want_parts, want_coal) {
+            return Err(format!(
+                "overhead: point {i} must be partitions {want_parts}, coalescing \
+                 {want_coal}; found partitions {parts}, coalescing {coal}"
+            ));
+        }
+        windows[i] = p
+            .get("windows")
+            .and_then(Json::as_f64)
+            .filter(|&v| v.is_finite() && v >= 1.0)
+            .ok_or("overhead: point windows must be ≥ 1")?;
+        p.get("events_per_window")
+            .and_then(Json::as_f64)
+            .filter(|&v| v.is_finite() && v > 0.0)
+            .ok_or("overhead: point events_per_window must be positive")?;
+        for key in ["wall_secs", "wall_ratio_vs_sequential"] {
+            if let Some(v) = p.get(key) {
+                v.as_f64()
+                    .filter(|&v| v.is_finite() && v > 0.0)
+                    .ok_or_else(|| format!("overhead: point {key} must be positive"))?;
+            }
+        }
+    }
+    // Windows are [1p on, 1p off, 4p on, 4p off]; coalescing must buy at
+    // least a 5x reduction at both partition counts.
+    for (on, off, label) in [(windows[0], windows[1], 1), (windows[2], windows[3], 4)] {
+        if on * 5.0 > off {
+            return Err(format!(
+                "overhead: coalescing at {label} partition(s) reduced windows only \
+                 {off} -> {on} (must be at least 5x)"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Validate the `analysis` section: per-scale plans/sec points of the
 /// batch verifier at increasing worker counts, zero analyzer errors on
 /// generated workloads (the analyzer-clean half of the cross-validation
@@ -450,16 +555,20 @@ fn validate_analysis(section: &Json, min_scales: usize) -> Result<(), String> {
 
 /// A copy of the artifact with every wall-clock-derived field removed:
 /// per-system `wall_secs` and `events_per_sec`, the same fields inside
-/// `partitioning` entries, and the whole `thread_scaling` and `analysis`
-/// sections (both report throughput). The `partitioning` section itself
-/// *stays* — partition count, lookahead, window count and per-partition
-/// event counts are pure functions of (workload, seed, cut), probed at a
-/// fixed cut, so they are part of the determinism contract. What remains
-/// must be byte-identical for two runs of the same build *regardless of
-/// thread count or `--partitions`*; the gate script enforces exactly
-/// that for `--threads 1` vs `--threads 4` and for `--partitions 1` vs
-/// `--partitions 4`. (Lint-output byte-equality across worker counts is
-/// enforced separately on `p4update_lint --dataset` output.)
+/// `partitioning` entries, the `overhead` section's
+/// `sequential_wall_secs` and per-point `wall_secs` /
+/// `wall_ratio_vs_sequential`, and the whole `thread_scaling` and
+/// `analysis` sections (both report throughput). The `partitioning` and
+/// `overhead` sections themselves *stay* — partition count, lookahead,
+/// window counts, per-partition event counts and events-per-window are
+/// pure functions of (workload, seed, cut, coalescing setting), probed
+/// at fixed settings, so they are part of the determinism contract. What
+/// remains must be byte-identical for two runs of the same build
+/// *regardless of thread count, `--partitions`, or `--no-coalescing`*;
+/// the gate script enforces exactly that for `--threads 1` vs
+/// `--threads 4`, for `--partitions 1` vs `--partitions 4`, and for
+/// coalescing on vs off. (Lint-output byte-equality across worker counts
+/// is enforced separately on `p4update_lint --dataset` output.)
 pub fn strip_timing(doc: &Json) -> Json {
     fn strip_system(sys: &Json) -> Json {
         match sys {
@@ -483,6 +592,42 @@ pub fn strip_timing(doc: &Json) -> Json {
                             match v {
                                 Json::Arr(items) => {
                                     Json::Arr(items.iter().map(strip_system).collect())
+                                }
+                                other => other.clone(),
+                            }
+                        } else {
+                            v.clone()
+                        };
+                        (k.clone(), v)
+                    })
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+    fn strip_overhead(section: &Json) -> Json {
+        fn strip_point(p: &Json) -> Json {
+            match p {
+                Json::Obj(members) => Json::Obj(
+                    members
+                        .iter()
+                        .filter(|(k, _)| k != "wall_secs" && k != "wall_ratio_vs_sequential")
+                        .cloned()
+                        .collect(),
+                ),
+                other => other.clone(),
+            }
+        }
+        match section {
+            Json::Obj(members) => Json::Obj(
+                members
+                    .iter()
+                    .filter(|(k, _)| k != "sequential_wall_secs")
+                    .map(|(k, v)| {
+                        let v = if k == "points" {
+                            match v {
+                                Json::Arr(items) => {
+                                    Json::Arr(items.iter().map(strip_point).collect())
                                 }
                                 other => other.clone(),
                             }
@@ -532,6 +677,8 @@ pub fn strip_timing(doc: &Json) -> Json {
                         }
                     } else if k == "partitioning" {
                         strip_partitioning(v)
+                    } else if k == "overhead" {
+                        strip_overhead(v)
                     } else {
                         v.clone()
                     };

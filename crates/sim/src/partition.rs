@@ -44,9 +44,100 @@
 //!    engine's `schedule_at` would have produced. Metrics-sink effects
 //!    are buffered per delivery and replayed in the merged order, so the
 //!    sink observes the byte-identical event stream.
+//! 4. **Window size is irrelevant to the order.** Clauses 2 and 3 never
+//!    mention the window end: within a shard, pops follow `(time, seq)`
+//!    whatever the window, and the merge assigns the same sequence
+//!    numbers whether a stretch of virtual time was covered by one
+//!    barrier or fifty. Growing a window (coalescing, below) can
+//!    therefore change *only* how often the barrier runs — never what it
+//!    produces — as long as the window stays causally closed.
 //!
 //! `tests/partition_equivalence.rs` enforces this equivalence
-//! differentially at 1/2/4/8 partitions over the scenario registry.
+//! differentially at 1/2/4/8 partitions over the scenario registry, with
+//! coalescing both on and off.
+//!
+//! # Window coalescing
+//!
+//! The fixed window `[t_min, t_min + L)` is sound but tiny (2.05 ms on
+//! the fat-trees), and most windows deliver a handful of events — on
+//! ft4096 the PR 6 engine ran ~57k windows for ~234k events, paying the
+//! barrier ~4 events at a time. Coalescing stretches the window as far as
+//! the *causally closed* argument actually allows:
+//!
+//! - Each shard `s` has a per-class lower bound `Λ_s` on how far in the
+//!   future any cross-shard emission it makes must land (switch shards:
+//!   `min(proc + ctrl_floor, proc + min_cross_link)`; the controller
+//!   shard: `ctrl_tx + ctrl_floor`). The global `L = min_s Λ_s`.
+//! - Events split into two classes. *Main* (cross-capable) events may
+//!   emit across shards; *deferred* events ([`Event::PollTick`] is the
+//!   only member) have handlers whose transitive descendants provably
+//!   stay shard-local: a poll tick only ever re-arms itself, and its
+//!   `busy` bump can only push other events' children *later*, never
+//!   earlier. The split lives in [`ClassedQueue`]; pops still come out
+//!   in global `(time, seq)` order across both classes.
+//! - Let `b_s` be shard `s`'s *barrier front* — its earliest pending
+//!   main-class event at the barrier. Any cross-shard emission made
+//!   while processing the next window traces back (through shard-local
+//!   descendants) to a main-class event popped at `t' ≥ b_s`, and pays
+//!   `≥ Λ_s` on top, so it lands at `≥ b_s + Λ_s`. The window can
+//!   therefore extend to `W = min_s (b_s + Λ_s) ≥ t_min + L` — every
+//!   cross emission still lands at or past `W`, and clause 4 makes the
+//!   result byte-identical. With no main-class event pending anywhere,
+//!   `W` is unbounded (capped at the horizon): the poll-tick tail
+//!   collapses into one window.
+//!
+//! The emission-time window check stays armed under coalescing, so the
+//! `Λ_s` accounting is *enforced*, not trusted. `with_coalescing(false)`
+//! is the escape hatch back to fixed `t_min + L` windows.
+//!
+//! # Serial phases
+//!
+//! Stretching alone cannot beat the structure of this workload: the
+//! shard owning `t_min` contributes `b_{s} + Λ_s ≈ t_min + Λ_s` to the
+//! window bound, so `W` never exceeds the *front shard's own* lookahead
+//! while main-class events are pending. Measuring the bench workload
+//! shows why that matters — in ~80 % of fixed windows at 4 partitions,
+//! at most **two** shards hold any event at all (a switch shard and the
+//! controller ping-ponging a causal chain); the barrier synchronizes a
+//! conversation, not parallel work.
+//!
+//! So when at most [`SERIAL_MAX`] shards have events within one
+//! lookahead of `t_min`, the planner emits [`Plan::Serial`] instead of a
+//! window: the coordinator pops the globally earliest event (all queues
+//! hold only resolved keys between rounds), handles it, and immediately
+//! assigns its emissions their final sequence numbers in emission order
+//! — *exactly* the sequential engine's `schedule_at` semantics, so
+//! byte-identity holds by construction rather than by merge argument.
+//! Parked shards hold no events before `wake` (their earliest key,
+//! tightened whenever the phase routes an event into a parked queue), so
+//! each pop really is the global minimum. When the phase catches up to
+//! `wake`, the waking shard is promoted into the active set (demoting
+//! any shard whose front fell more than a lookahead behind); only when
+//! the active set would exceed [`SERIAL_MAX`] does the phase end and
+//! barriered windows resume. One phase counts as one window, and entire
+//! cascade regimes fuse: on ft4096 the run collapses from ~57k fixed
+//! windows to under a thousand rounds.
+//!
+//! # The persistent worker pool
+//!
+//! With `threads > 1`, PR 6 spawned one OS thread per shard chunk *per
+//! window* (~230k spawns on ft4096). [`PartitionedSim::run_until`] now
+//! starts one scoped pool per call: workers park on a condvar and are
+//! dispatched by an epoch counter; the coordinator plans the window and
+//! runs the merge while the workers are parked, taking each shard's
+//! mutex only briefly and without contention. The pool joins once, when
+//! the run drains (or errors).
+//!
+//! # Allocation audit
+//!
+//! The serial (`threads == 1`) window loop is allocation-free in steady
+//! state: the barrier merges through persistent cursors and seq-map
+//! scratch in [`Core`], shard ledgers are cleared (capacity retained)
+//! rather than taken, controller effects drain through a reusable
+//! scratch vector, and per-shard front times are memoized in a
+//! [`FrontCache`] so the planner re-peeks only shards the last barrier
+//! actually touched. `tests/partition_alloc.rs` pins this with a
+//! counting global allocator.
 //!
 //! # Restrictions
 //!
@@ -73,16 +164,14 @@ use crate::network::{ControllerImpl, Event, GateStats, NetworkSim, PathTables};
 use crate::table::SwitchTable;
 use p4update_analysis::{BatchAnalysis, Diagnostic};
 use p4update_dataplane::{CtrlEffect, DropReason, Effect, Endpoint, Switch};
-use p4update_des::{
-    CalendarQueue, EventQueue, HeapQueue, QueueBackend, RunOutcome, SimDuration, SimRng, SimTime,
-};
+use p4update_des::{ClassedQueue, FrontCache, Fronts, RunOutcome, SimDuration, SimRng, SimTime};
 use p4update_messages::{DataPacket, Message, RejectReason};
 use p4update_net::{
     min_cross_partition_latency, FlowId, FlowUpdate, NodeId, Partitioner, Topology, Version,
 };
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// A cross-shard event was emitted *inside* the current lookahead window
 /// — the conservative bound was violated. In debug builds this is caught
@@ -110,6 +199,22 @@ impl std::fmt::Display for LookaheadViolation {
         )
     }
 }
+
+/// Whether an event belongs to the deferred (provably shard-local)
+/// class. Must stay closed under the handler relation: a deferred
+/// event's handler may only schedule further deferred events on its own
+/// shard. `PollTick` qualifies — its handler emits only another
+/// `PollTick` for the same node.
+fn is_deferred(event: &Event) -> bool {
+    matches!(event, Event::PollTick { .. })
+}
+
+/// Largest active set a serial phase may run. When at most this many
+/// shards have events within one lookahead of `t_min`, barriering them
+/// buys no parallelism (the workload is a causally-ordered ping-pong at
+/// that granularity), so the engine executes them in exact global
+/// `(time, seq)` order on one thread until more shards converge.
+const SERIAL_MAX: usize = 3;
 
 /// How a delivery record keys into the global order.
 #[derive(Debug, Clone, Copy)]
@@ -206,13 +311,15 @@ struct ShardCtx {
     tables: Arc<PathTables>,
     /// Global node index → shard id, shared across shards.
     assign: Arc<Vec<u32>>,
-    /// Events with resolved global sequence numbers.
-    main: Box<dyn EventQueue<Event> + Send>,
+    /// Events with resolved global sequence numbers, split into the
+    /// cross-capable main class and the deferred (shard-local) class.
+    main: ClassedQueue<Event>,
     /// During-window emissions to this same shard, provisional keys.
     side: BinaryHeap<Reverse<SideEntry>>,
     /// End of the window currently being processed (exclusive).
     window_end: SimTime,
-    /// Per-window ledgers, consumed by the barrier merge.
+    /// Per-window ledgers, consumed by the barrier merge. Cleared (not
+    /// taken) at the barrier so their capacity persists.
     records: Vec<Record>,
     emissions: Vec<Emission>,
     ops: Vec<SinkOp>,
@@ -229,25 +336,22 @@ struct ShardCtx {
     busy: Vec<SimTime>,
     polling: Vec<bool>,
     scratch: Vec<Effect>,
+    /// Reusable controller-effect buffer (capacity persists across
+    /// events; only ever non-empty inside a controller handler).
+    ctrl_scratch: Vec<CtrlEffect>,
     // --- controller-shard state (None on switch shards) ---
     ctrl: Option<CtrlState>,
 }
 
-fn new_queue(backend: QueueBackend) -> Box<dyn EventQueue<Event> + Send> {
-    match backend {
-        QueueBackend::Heap => Box::new(HeapQueue::new()),
-        QueueBackend::Calendar => Box::new(CalendarQueue::new()),
-    }
-}
-
 impl ShardCtx {
-    /// Earliest pending timestamp of this shard, if any.
-    fn front(&mut self) -> Option<SimTime> {
-        let main = self.main.peek_key().map(|(t, _)| t);
-        let side = self.side.peek().map(|Reverse(e)| e.at);
-        match (main, side) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+    /// Front times for the planner. Only valid at a barrier: the side
+    /// heap is empty (drained by the previous merge), so the classed
+    /// queue alone describes the shard.
+    fn fronts(&mut self) -> Fronts {
+        debug_assert!(self.side.is_empty(), "fronts probed mid-window");
+        Fronts {
+            next: self.main.peek_key().map(|(t, _)| t),
+            barrier: self.main.barrier_key().map(|(t, _)| t),
         }
     }
 
@@ -453,12 +557,13 @@ impl ShardCtx {
                 self.emit(self.id, at, Event::DeliverToController { from, msg });
             }
             Event::ControllerExec { from, msg } => {
+                let mut out = std::mem::take(&mut self.ctrl_scratch);
                 let cs = self.ctrl.as_mut().expect("ctrl event on a switch shard");
-                let mut out = Vec::new();
                 cs.controller
                     .as_logic()
                     .on_message(now, from, msg, &mut out);
-                self.apply_ctrl_effects(now, out);
+                self.apply_ctrl_effects(now, &mut out);
+                self.ctrl_scratch = out;
             }
             Event::PollTick { node } => {
                 let l = self.local_idx(node);
@@ -476,14 +581,15 @@ impl ShardCtx {
             }
             Event::Trigger { batch } => {
                 self.ops.push(SinkOp::Trigger(now, batch));
+                let mut out = std::mem::take(&mut self.ctrl_scratch);
                 let cs = self.ctrl.as_mut().expect("ctrl event on a switch shard");
                 let updates = cs.batches.get(batch).cloned().unwrap_or_default();
                 let base = now.max(cs.ctrl_busy);
-                let mut out = Vec::new();
                 cs.controller
                     .as_logic()
                     .start_update(now, &updates, &mut out);
-                self.apply_ctrl_effects(base, out);
+                self.apply_ctrl_effects(base, &mut out);
+                self.ctrl_scratch = out;
                 if self.config.retry_ms > 0.0 {
                     self.emit(
                         self.id,
@@ -493,11 +599,12 @@ impl ShardCtx {
                 }
             }
             Event::ControllerTimer => {
+                let mut out = std::mem::take(&mut self.ctrl_scratch);
                 let cs = self.ctrl.as_mut().expect("ctrl event on a switch shard");
-                let mut out = Vec::new();
                 let keep_going = cs.controller.as_logic().on_timer(now, &mut out);
                 let base = now.max(cs.ctrl_busy);
-                self.apply_ctrl_effects(base, out);
+                self.apply_ctrl_effects(base, &mut out);
+                self.ctrl_scratch = out;
                 if keep_going && self.config.retry_ms > 0.0 {
                     self.emit(
                         self.id,
@@ -585,10 +692,12 @@ impl ShardCtx {
     }
 
     /// Mirror of `NetworkSim::apply_ctrl_effects` without fault branches.
-    fn apply_ctrl_effects(&mut self, base: SimTime, effects: Vec<CtrlEffect>) {
+    /// Drains `effects` (a reusable scratch buffer) rather than consuming
+    /// a fresh allocation.
+    fn apply_ctrl_effects(&mut self, base: SimTime, effects: &mut Vec<CtrlEffect>) {
         let tx = ms(self.config.timing.ctrl_tx_ms);
         let mut send_time = base;
-        for effect in effects {
+        for effect in effects.drain(..) {
             match effect {
                 CtrlEffect::Send { to, msg } => {
                     send_time += tx;
@@ -644,21 +753,577 @@ struct Rest {
     gate_stats: GateStats,
 }
 
-/// A [`NetworkSim`] running under the partitioned parallel engine. See
-/// the module docs for the determinism argument and the restrictions.
-pub struct PartitionedSim {
-    shards: Vec<ShardCtx>,
-    ctrl_shard: usize,
-    assign: Arc<Vec<u32>>,
-    lookahead: SimDuration,
-    threads: usize,
+/// Engine bookkeeping owned by the coordinator: global sequence counter,
+/// merged clocks and counters, plus the persistent merge scratch that
+/// makes the steady-state barrier allocation-free (seq maps, cursors,
+/// front cache — all cleared, never dropped).
+struct Core {
     next_seq: u64,
     pending: usize,
     peak_pending: usize,
     events: u64,
     now: SimTime,
     windows: u64,
+    windows_coalesced: u64,
     shard_events: Vec<u64>,
+    fronts: FrontCache,
+    /// Per-shard provisional-index → global sequence maps, resized (not
+    /// reallocated) to each window's emission count.
+    seqmaps: Vec<Vec<u64>>,
+    rec_cur: Vec<usize>,
+    emi_cur: Vec<usize>,
+    op_cur: Vec<usize>,
+    /// Serial-phase scratch: the current active set (shard indices) and
+    /// a drain buffer for one event's same-shard emissions.
+    active: Vec<usize>,
+    side_scratch: Vec<SideEntry>,
+}
+
+impl Core {
+    fn new(nshards: usize) -> Self {
+        Core {
+            next_seq: 0,
+            pending: 0,
+            peak_pending: 0,
+            events: 0,
+            now: SimTime::ZERO,
+            windows: 0,
+            windows_coalesced: 0,
+            shard_events: vec![0; nshards],
+            fronts: FrontCache::new(nshards),
+            seqmaps: vec![Vec::new(); nshards],
+            rec_cur: vec![0; nshards],
+            emi_cur: vec![0; nshards],
+            op_cur: vec![0; nshards],
+            active: Vec::with_capacity(nshards),
+            side_scratch: Vec::with_capacity(8),
+        }
+    }
+}
+
+/// Uniform mutable access to the shard slice for the planner and the
+/// barrier merge, abstracting over "serial: straight `get_mut` through
+/// the mutexes" vs "pooled: a slice of held guards".
+trait ShardAccess {
+    fn len(&self) -> usize;
+    fn shard(&mut self, i: usize) -> &mut ShardCtx;
+}
+
+/// Serial access: the coordinator owns `&mut` to the mutexes, so each
+/// access is a free `get_mut` — no locking, no allocation.
+struct DirectShards<'a>(&'a mut [Mutex<ShardCtx>]);
+
+impl ShardAccess for DirectShards<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn shard(&mut self, i: usize) -> &mut ShardCtx {
+        self.0[i]
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Pooled access: the coordinator holds every shard's guard while the
+/// workers are parked.
+struct LockedShards<'a, 'b>(&'a mut [MutexGuard<'b, ShardCtx>]);
+
+impl ShardAccess for LockedShards<'_, '_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn shard(&mut self, i: usize) -> &mut ShardCtx {
+        &mut self.0[i]
+    }
+}
+
+fn lock_shard(m: &Mutex<ShardCtx>) -> MutexGuard<'_, ShardCtx> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// What the planner decided for the next round.
+enum Plan {
+    /// No pending events anywhere.
+    Drained,
+    /// The earliest pending event lies beyond the horizon.
+    Horizon,
+    /// Process `[t_min, end)` on all shards in parallel; `coalesced`
+    /// marks ends stretched past the fixed `t_min + L` bound.
+    Window { end: SimTime, coalesced: bool },
+    /// At most [`SERIAL_MAX`] shards have events within one lookahead of
+    /// `t_min`: run them in exact global `(time, seq)` order on the
+    /// coordinator until more shards converge — no barrier, no ledger
+    /// round-trip across windows.
+    Serial,
+}
+
+/// Plan the next window: refresh (only dirty) shard fronts, find the
+/// global `t_min`, and — when coalescing — stretch the end to
+/// `min_s (barrier_front_s + Λ_s)`, the furthest point the module-level
+/// argument proves causally closed.
+fn plan_window(
+    core: &mut Core,
+    shards: &mut impl ShardAccess,
+    horizon: SimTime,
+    lookahead: SimDuration,
+    shard_lookahead: &[SimDuration],
+    coalescing: bool,
+) -> Plan {
+    let mut t_min: Option<SimTime> = None;
+    let mut cross_min: Option<SimTime> = None;
+    for (i, la) in shard_lookahead.iter().enumerate().take(shards.len()) {
+        let f = core.fronts.refresh(i, || shards.shard(i).fronts());
+        if let Some(t) = f.next {
+            t_min = Some(t_min.map_or(t, |m| m.min(t)));
+        }
+        if let Some(b) = f.barrier {
+            let reach = b + *la;
+            cross_min = Some(cross_min.map_or(reach, |m| m.min(reach)));
+        }
+    }
+    let Some(t) = t_min else { return Plan::Drained };
+    if t > horizon {
+        return Plan::Horizon;
+    }
+    if coalescing {
+        // Count the shards with any event within one lookahead of
+        // `t_min`. A barrier over so few shards synchronizes a causal
+        // chain, not parallel work; hand the round to the serial-phase
+        // executor instead.
+        let gate_end = t + lookahead;
+        let mut active = 0usize;
+        for i in 0..shards.len() {
+            let f = core.fronts.refresh(i, || shards.shard(i).fronts());
+            if f.next.is_some_and(|x| x <= gate_end) {
+                active += 1;
+            }
+        }
+        if active <= SERIAL_MAX {
+            return Plan::Serial;
+        }
+    }
+    // The cap lets events *at* the horizon run (sequential `run_until`
+    // semantics); `SimTime + SimDuration` saturates, so `u64::MAX` is
+    // safe.
+    let cap = horizon + SimDuration::from_nanos(1);
+    let base = (t + lookahead).min(cap);
+    let end = if coalescing {
+        // No main-class event anywhere → nothing can ever cross again;
+        // the window is unbounded (capped). `.max(base)` is defensive:
+        // cross_min ≥ t_min + min Λ ≥ base holds by construction.
+        cross_min.unwrap_or(cap).min(cap).max(base)
+    } else {
+        base
+    };
+    Plan::Window {
+        end,
+        coalesced: end > base,
+    }
+}
+
+/// The barrier: k-way merge the shard-local delivery records in global
+/// `(time, seq)` order, assigning every emission its final global
+/// sequence number in exactly the order the sequential engine would
+/// have, replaying sink effects in that order, and routing cross-shard
+/// events into their destination queues. Works entirely through the
+/// persistent scratch in [`Core`] and the shards' cleared-in-place
+/// ledgers: in steady state this allocates nothing.
+fn merge_window(
+    core: &mut Core,
+    shards: &mut impl ShardAccess,
+    sink: &mut dyn MetricsSink,
+) -> Result<(), LookaheadViolation> {
+    let n = shards.len();
+    for i in 0..n {
+        if let Some(v) = &shards.shard(i).violation {
+            return Err(v.clone());
+        }
+    }
+    for i in 0..n {
+        let emitted = shards.shard(i).emitted as usize;
+        let m = &mut core.seqmaps[i];
+        m.clear();
+        m.resize(emitted, u64::MAX);
+    }
+    core.rec_cur.fill(0);
+    core.emi_cur.fill(0);
+    core.op_cur.fill(0);
+
+    loop {
+        // Head record with the globally smallest (time, seq). A
+        // provisional head's parent record precedes it in the same
+        // shard (a parent emits strictly before its child is popped),
+        // so its sequence number is always already resolved.
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for i in 0..n {
+            let cur = core.rec_cur[i];
+            let Some(r) = shards.shard(i).records.get(cur) else {
+                continue;
+            };
+            let (at, key) = (r.at, r.key);
+            let seq = match key {
+                Key::Resolved(s) => s,
+                Key::Provisional(idx) => {
+                    let s = core.seqmaps[i][idx as usize];
+                    debug_assert_ne!(s, u64::MAX, "unresolved provisional key at merge");
+                    s
+                }
+            };
+            if best.is_none_or(|(bt, bs, _)| (at, seq) < (bt, bs)) {
+                best = Some((at, seq, i));
+            }
+        }
+        let Some((at, _, i)) = best else { break };
+        let r = shards.shard(i).records[core.rec_cur[i]];
+        core.rec_cur[i] += 1;
+        core.now = at;
+        core.events += 1;
+        core.shard_events[i] += 1;
+        core.pending -= 1;
+        for _ in 0..r.n_ops {
+            let op = shards.shard(i).ops[core.op_cur[i]];
+            core.op_cur[i] += 1;
+            apply_op(&mut *sink, op);
+        }
+        for _ in 0..r.n_emissions {
+            let seq = core.next_seq;
+            core.next_seq += 1;
+            core.pending += 1;
+            core.peak_pending = core.peak_pending.max(core.pending);
+            // Extract the routed event first so the source-shard borrow
+            // ends before the destination shard is touched.
+            let routed = {
+                let shard = shards.shard(i);
+                let e = &mut shard.emissions[core.emi_cur[i]];
+                core.emi_cur[i] += 1;
+                match e {
+                    Emission::Local { idx } => {
+                        core.seqmaps[i][*idx as usize] = seq;
+                        None
+                    }
+                    Emission::Out { dest, at, event } => Some((
+                        *dest as usize,
+                        *at,
+                        event.take().expect("emission consumed twice"),
+                    )),
+                }
+            };
+            if let Some((dest, at, event)) = routed {
+                let deferred = is_deferred(&event);
+                shards.shard(dest).main.push(at, seq, event, deferred);
+                core.fronts.mark_dirty(dest);
+            }
+        }
+    }
+
+    // Side-heap remainders (all at or past the window end) move into
+    // the main queue with their now-resolved sequence numbers; ledgers
+    // clear in place so their capacity persists.
+    for i in 0..n {
+        let shard = shards.shard(i);
+        let touched = !shard.records.is_empty();
+        while let Some(Reverse(entry)) = shard.side.pop() {
+            let seq = core.seqmaps[i][entry.idx as usize];
+            debug_assert_ne!(seq, u64::MAX, "unresolved side event after merge");
+            let deferred = is_deferred(&entry.event);
+            shard.main.push(entry.at, seq, entry.event, deferred);
+        }
+        shard.records.clear();
+        shard.emissions.clear();
+        shard.ops.clear();
+        shard.emitted = 0;
+        if touched {
+            core.fronts.mark_dirty(i);
+        }
+    }
+    Ok(())
+}
+
+/// A serial phase: execute the active shards' events in exact global
+/// `(time, seq)` order, assigning each emission its final sequence
+/// number the moment its parent is handled — precisely what the
+/// sequential engine's `schedule_at` does, so byte-identity is by
+/// construction rather than by merge argument.
+///
+/// The active set is every shard with an event within one `gate` of the
+/// global front. Parked shards hold no events before `wake` (the
+/// earliest parked key, tightened whenever the phase routes an event
+/// into a parked queue), so each pop really is the global minimum.
+/// When the phase catches up to `wake`, the waking shard is promoted
+/// (after demoting any active shard whose front fell behind); only when
+/// a promotion would exceed [`SERIAL_MAX`] does the phase end and the
+/// planner return to barriered windows. One phase counts as one window;
+/// it is coalesced if it advanced past `t_min + gate`, i.e. covered
+/// more than one fixed-step window.
+fn run_serial_phase(
+    core: &mut Core,
+    shards: &mut impl ShardAccess,
+    sink: &mut dyn MetricsSink,
+    horizon: SimTime,
+    gate: SimDuration,
+) {
+    let n = shards.len();
+    let mut active = std::mem::take(&mut core.active);
+    active.clear();
+    let mut t_min: Option<SimTime> = None;
+    for i in 0..n {
+        let f = core.fronts.refresh(i, || shards.shard(i).fronts());
+        if let Some(t) = f.next {
+            t_min = Some(t_min.map_or(t, |m| m.min(t)));
+        }
+    }
+    let Some(t0) = t_min else {
+        core.active = active;
+        return;
+    };
+    let gate_end = t0 + gate;
+    // Earliest key on any parked shard, and which shard holds it.
+    let mut wake: Option<((SimTime, u64), usize)> = None;
+    for i in 0..n {
+        let f = core.fronts.refresh(i, || shards.shard(i).fronts());
+        match f.next {
+            Some(t) if t <= gate_end => active.push(i),
+            Some(_) => {
+                let k = shards.shard(i).main.peek_key().expect("front is Some");
+                if wake.is_none_or(|(wk, _)| k < wk) {
+                    wake = Some((k, i));
+                }
+            }
+            None => {}
+        }
+    }
+    core.windows += 1;
+    let mut last_at = t0;
+
+    loop {
+        let mut best: Option<((SimTime, u64), usize)> = None;
+        for &i in &active {
+            if let Some(k) = shards.shard(i).main.peek_key() {
+                if best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, i));
+                }
+            }
+        }
+        // Promote the waking shard when the phase catches up to it (or
+        // the active set drained); stop only if that would exceed
+        // SERIAL_MAX even after demoting shards that fell behind.
+        let caught_up = match (best, wake) {
+            (None, None) => break,
+            (Some((bk, _)), Some((wk, _))) => bk >= wk,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+        };
+        if caught_up {
+            let ((wt, _), w) = wake.expect("caught up to a parked key");
+            let horizon_gate = wt + gate;
+            active.retain(|&i| {
+                shards
+                    .shard(i)
+                    .main
+                    .peek_key()
+                    .is_some_and(|(t, _)| t <= horizon_gate)
+            });
+            if active.len() >= SERIAL_MAX {
+                break;
+            }
+            active.push(w);
+            wake = None;
+            for i in 0..n {
+                if active.contains(&i) {
+                    continue;
+                }
+                if let Some(k) = shards.shard(i).main.peek_key() {
+                    if wake.is_none_or(|(wk, _)| k < wk) {
+                        wake = Some((k, i));
+                    }
+                }
+            }
+            continue;
+        }
+        let ((at, _), i) = best.expect("not caught up implies an active key");
+        if at > horizon {
+            break;
+        }
+
+        // Pop and handle the globally earliest event, then drain its
+        // ledger with immediate sequence assignment.
+        let shard = shards.shard(i);
+        let (_, _, event) = shard.main.pop().expect("peeked");
+        shard.window_end = at;
+        debug_assert!(shard.side.is_empty(), "side events before a serial pop");
+        debug_assert_eq!(shard.emitted, 0, "ledger not drained");
+        shard.handle(at, event);
+        core.now = at;
+        core.events += 1;
+        core.shard_events[i] += 1;
+        core.pending -= 1;
+        last_at = at;
+        let n_ops = shards.shard(i).ops.len();
+        for oi in 0..n_ops {
+            let op = shards.shard(i).ops[oi];
+            apply_op(&mut *sink, op);
+        }
+        let mut side_scratch = std::mem::take(&mut core.side_scratch);
+        {
+            let shard = shards.shard(i);
+            while let Some(Reverse(entry)) = shard.side.pop() {
+                side_scratch.push(entry);
+            }
+        }
+        let n_emissions = shards.shard(i).emissions.len();
+        for ei in 0..n_emissions {
+            let seq = core.next_seq;
+            core.next_seq += 1;
+            core.pending += 1;
+            core.peak_pending = core.peak_pending.max(core.pending);
+            let routed = {
+                let shard = shards.shard(i);
+                match &mut shard.emissions[ei] {
+                    Emission::Local { idx } => {
+                        let pos = side_scratch
+                            .iter()
+                            .position(|e| e.idx == *idx)
+                            .expect("local emission in side scratch");
+                        let e = side_scratch.swap_remove(pos);
+                        let deferred = is_deferred(&e.event);
+                        shard.main.push(e.at, seq, e.event, deferred);
+                        None
+                    }
+                    Emission::Out { dest, at, event } => Some((
+                        *dest as usize,
+                        *at,
+                        event.take().expect("emission consumed twice"),
+                    )),
+                }
+            };
+            if let Some((dest, eat, event)) = routed {
+                let deferred = is_deferred(&event);
+                shards.shard(dest).main.push(eat, seq, event, deferred);
+                core.fronts.mark_dirty(dest);
+                if !active.contains(&dest) {
+                    let k = (eat, seq);
+                    if wake.is_none_or(|(wk, _)| k < wk) {
+                        wake = Some((k, dest));
+                    }
+                }
+            }
+        }
+        debug_assert!(side_scratch.is_empty(), "orphaned local emission");
+        core.side_scratch = side_scratch;
+        let shard = shards.shard(i);
+        shard.emissions.clear();
+        shard.ops.clear();
+        shard.emitted = 0;
+        core.fronts.mark_dirty(i);
+    }
+
+    if last_at > gate_end {
+        core.windows_coalesced += 1;
+    }
+    core.active = active;
+}
+
+/// Epoch-counter handshake between the coordinator and the persistent
+/// workers: bump `epoch` + notify `work` to dispatch a window; workers
+/// count themselves in via `done` + `idle`. `failed` marks a worker that
+/// panicked (debug-build lookahead assertion) so the coordinator stops
+/// waiting; the panic itself resurfaces when the thread scope joins.
+struct PoolSync {
+    state: Mutex<PoolState>,
+    work: Condvar,
+    idle: Condvar,
+}
+
+struct PoolState {
+    epoch: u64,
+    window_end: SimTime,
+    done: usize,
+    failed: bool,
+    shutdown: bool,
+}
+
+impl PoolSync {
+    fn new() -> Self {
+        PoolSync {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                window_end: SimTime::ZERO,
+                done: 0,
+                failed: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A persistent worker: park until the epoch advances, run the assigned
+/// shard chunk against the dispatched window end, count in, repeat.
+fn worker_loop(sync: &PoolSync, chunk: &[Mutex<ShardCtx>]) {
+    let mut seen = 0u64;
+    loop {
+        let window_end;
+        {
+            let mut st = sync.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    break;
+                }
+                st = sync
+                    .work
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            seen = st.epoch;
+            window_end = st.window_end;
+        }
+        // Catch a panic (debug-build lookahead assertion) so the
+        // coordinator is always released from its idle wait; the panic
+        // resumes below and propagates when the scope joins.
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for m in chunk {
+                let mut shard = lock_shard(m);
+                shard.window_end = window_end;
+                shard.run_window();
+            }
+        }));
+        {
+            let mut st = sync.lock();
+            st.done += 1;
+            if res.is_err() {
+                st.failed = true;
+            }
+        }
+        sync.idle.notify_one();
+        if let Err(p) = res {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+/// A [`NetworkSim`] running under the partitioned parallel engine. See
+/// the module docs for the determinism argument and the restrictions.
+pub struct PartitionedSim {
+    shards: Vec<Mutex<ShardCtx>>,
+    ctrl_shard: usize,
+    assign: Arc<Vec<u32>>,
+    /// Global conservative lookahead `L = min_s Λ_s`.
+    lookahead: SimDuration,
+    /// Per-shard emission lower bounds `Λ_s` (coalescing).
+    shard_lookahead: Vec<SimDuration>,
+    coalescing: bool,
+    threads: usize,
+    core: Core,
     sink: Box<dyn MetricsSink>,
     rest: Rest,
 }
@@ -666,6 +1331,7 @@ pub struct PartitionedSim {
 impl PartitionedSim {
     /// Shard `world` along `partitioner`'s cut, processing windows with
     /// `threads` worker threads (1 = same engine, serial window loop).
+    /// Window coalescing is on by default ([`Self::with_coalescing`]).
     ///
     /// Fails when the configuration needs the sequential engine (see the
     /// module-level *Restrictions*) or when the timing model yields no
@@ -712,21 +1378,25 @@ impl PartitionedSim {
         let ctrl_shard = partitions;
         let nshards = partitions + 1;
 
-        // Conservative lookahead: the minimum over the cross-shard
-        // emission classes (see the module docs for the cut argument).
+        // Per-shard emission bounds Λ_s (see the module docs for the cut
+        // argument); the global lookahead is their minimum.
         let proc = ms(config.timing.switch_proc_ms);
         let tx = ms(config.timing.ctrl_tx_ms);
         let ctrl_floor = match config.timing.control {
             ControlLatency::NormalMs { floor_ms, .. } => ms(floor_ms),
             ControlLatency::ShortestPathFrom(_) => SimDuration::ZERO,
         };
-        let mut lookahead = (proc + ctrl_floor).min(tx + ctrl_floor);
+        let mut switch_la = proc + ctrl_floor;
         if let Some(cross) = min_cross_partition_latency(world.topology(), partitioner) {
-            lookahead = lookahead.min(proc + cross);
+            switch_la = switch_la.min(proc + cross);
         }
+        let ctrl_la = tx + ctrl_floor;
+        let lookahead = switch_la.min(ctrl_la);
         if lookahead == SimDuration::ZERO {
             return Err("timing model yields zero lookahead; no parallel window exists".into());
         }
+        let mut shard_lookahead = vec![switch_la; nshards];
+        shard_lookahead[ctrl_shard] = ctrl_la;
 
         let n = world.topology().node_count();
         let assign: Arc<Vec<u32>> = Arc::new(
@@ -775,7 +1445,7 @@ impl PartitionedSim {
                 topo: Arc::clone(&topo),
                 tables: Arc::clone(&tables),
                 assign: Arc::clone(&assign),
-                main: new_queue(config.queue_backend),
+                main: ClassedQueue::new(config.queue_backend),
                 side: BinaryHeap::new(),
                 window_end: SimTime::ZERO,
                 records: Vec::new(),
@@ -793,6 +1463,7 @@ impl PartitionedSim {
                 busy: Vec::new(),
                 polling: Vec::new(),
                 scratch: Vec::new(),
+                ctrl_scratch: Vec::new(),
                 ctrl: None,
             })
             .collect();
@@ -814,18 +1485,14 @@ impl PartitionedSim {
         });
 
         Ok(PartitionedSim {
-            shards,
+            shards: shards.into_iter().map(Mutex::new).collect(),
             ctrl_shard,
             assign,
             lookahead,
+            shard_lookahead,
+            coalescing: true,
             threads: threads.max(1),
-            next_seq: 0,
-            pending: 0,
-            peak_pending: 0,
-            events: 0,
-            now: SimTime::ZERO,
-            windows: 0,
-            shard_events: vec![0; nshards],
+            core: Core::new(nshards),
             sink,
             rest: Rest {
                 topo,
@@ -840,18 +1507,46 @@ impl PartitionedSim {
         })
     }
 
-    /// Override the derived lookahead. Shrinking the window is always
-    /// safe (more barriers, same order); *growing* it past the derived
-    /// bound deliberately breaks the conservative guarantee — the
-    /// lookahead-safety tests use this to prove the enforcement trips.
+    /// Override the derived lookahead (globally and per shard). Shrinking
+    /// the window is always safe (more barriers, same order); *growing*
+    /// it past the derived bound deliberately breaks the conservative
+    /// guarantee — the lookahead-safety tests use this to prove the
+    /// enforcement trips.
     pub fn with_lookahead(mut self, lookahead: SimDuration) -> Self {
         self.lookahead = lookahead;
+        self.shard_lookahead.iter_mut().for_each(|s| *s = lookahead);
+        self
+    }
+
+    /// Enable or disable window coalescing (on by default). Off, every
+    /// window is the fixed `[t_min, t_min + L)`; the merged order is
+    /// byte-identical either way (module docs, clause 4).
+    pub fn with_coalescing(mut self, on: bool) -> Self {
+        self.coalescing = on;
+        self
+    }
+
+    /// Pre-size every shard's queue for roughly `capacity` total pending
+    /// events (mirrors the sequential `Simulation::with_queue_capacity`).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        let per = capacity / self.shards.len().max(1) + 1;
+        for m in &mut self.shards {
+            m.get_mut()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .main
+                .reserve(per);
+        }
         self
     }
 
     /// The derived (or overridden) conservative lookahead.
     pub fn lookahead(&self) -> SimDuration {
         self.lookahead
+    }
+
+    /// Whether window coalescing is enabled.
+    pub fn coalescing(&self) -> bool {
+        self.coalescing
     }
 
     /// Number of switch partitions (the controller shard is one more).
@@ -861,37 +1556,49 @@ impl PartitionedSim {
 
     /// Barrier windows processed so far.
     pub fn windows(&self) -> u64 {
-        self.windows
+        self.core.windows
+    }
+
+    /// Windows whose end was stretched past the fixed `t_min + L` bound
+    /// by coalescing.
+    pub fn windows_coalesced(&self) -> u64 {
+        self.core.windows_coalesced
     }
 
     /// Events delivered so far, by shard (switch partitions first, the
     /// controller shard last). Sums to [`Self::events_delivered`].
     pub fn shard_events(&self) -> &[u64] {
-        &self.shard_events
+        &self.core.shard_events
     }
 
     /// Total events delivered.
     pub fn events_delivered(&self) -> u64 {
-        self.events
+        self.core.events
     }
 
     /// High-water mark of pending events (identical to the sequential
     /// engine's `peak_queue_depth`: the barrier replays the sequential
     /// push/pop schedule when accounting).
     pub fn peak_queue_depth(&self) -> usize {
-        self.peak_pending
+        self.core.peak_pending
     }
 
     /// Schedule a seed event (same clamp semantics as the sequential
     /// `Simulation::schedule_at`).
     pub fn schedule_at(&mut self, at: SimTime, event: Event) {
-        let at = at.max(self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let at = at.max(self.core.now);
+        let seq = self.core.next_seq;
+        self.core.next_seq += 1;
         let dest = self.shard_of_event(&event);
-        self.shards[dest].main.push(at, seq, event);
-        self.pending += 1;
-        self.peak_pending = self.peak_pending.max(self.pending);
+        let deferred = is_deferred(&event);
+        self.shards[dest]
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .main
+            .push(at, seq, event, deferred);
+        self.core.pending += 1;
+        self.core.peak_pending = self.core.peak_pending.max(self.core.pending);
+        self.core.fronts.mark_dirty(dest);
     }
 
     fn shard_of_event(&self, event: &Event) -> usize {
@@ -917,148 +1624,167 @@ impl PartitionedSim {
     /// Run until the queues drain or the earliest pending event lies
     /// beyond `horizon` (same semantics as the sequential `run_until`).
     pub fn run_until(&mut self, horizon: SimTime) -> Result<RunOutcome, LookaheadViolation> {
-        loop {
-            let mut t_min: Option<SimTime> = None;
-            for shard in &mut self.shards {
-                if let Some(t) = shard.front() {
-                    t_min = Some(t_min.map_or(t, |m| m.min(t)));
-                }
-            }
-            let Some(t) = t_min else {
-                return Ok(RunOutcome::QueueDrained {
-                    finished_at: self.now,
-                    events: self.events,
-                });
-            };
-            if t > horizon {
-                return Ok(RunOutcome::HorizonReached {
-                    horizon,
-                    events: self.events,
-                });
-            }
-            let window_end = (t + self.lookahead).min(horizon + SimDuration::from_nanos(1));
-            self.windows += 1;
-            let workers = self.threads.min(self.shards.len());
-            if workers <= 1 {
-                for shard in &mut self.shards {
-                    shard.window_end = window_end;
-                    shard.run_window();
-                }
-            } else {
-                for shard in &mut self.shards {
-                    shard.window_end = window_end;
-                }
-                let per = self.shards.len().div_ceil(workers);
-                std::thread::scope(|scope| {
-                    for chunk in self.shards.chunks_mut(per) {
-                        scope.spawn(move || {
-                            for shard in chunk {
-                                shard.run_window();
-                            }
-                        });
-                    }
-                });
-            }
-            for shard in &self.shards {
-                if let Some(v) = &shard.violation {
-                    return Err(v.clone());
-                }
-            }
-            self.merge_window();
+        let workers = self.threads.min(self.shards.len());
+        if workers <= 1 {
+            self.run_until_serial(horizon)
+        } else {
+            self.run_until_pooled(horizon, workers)
         }
     }
 
-    /// The barrier: k-way merge the shard-local delivery records in
-    /// global `(time, seq)` order, assigning every emission its final
-    /// global sequence number in exactly the order the sequential engine
-    /// would have, replaying sink effects in that order, and routing
-    /// cross-shard events into their destination queues.
-    fn merge_window(&mut self) {
-        struct WindowOut {
-            records: Vec<Record>,
-            emissions: Vec<Emission>,
-            ops: Vec<SinkOp>,
-        }
-        let n = self.shards.len();
-        let mut outs: Vec<WindowOut> = self
-            .shards
-            .iter_mut()
-            .map(|s| WindowOut {
-                records: std::mem::take(&mut s.records),
-                emissions: std::mem::take(&mut s.emissions),
-                ops: std::mem::take(&mut s.ops),
-            })
-            .collect();
-        let mut seqmaps: Vec<Vec<u64>> = self
-            .shards
-            .iter()
-            .map(|s| vec![u64::MAX; s.emitted as usize])
-            .collect();
-        let mut rec_cur = vec![0usize; n];
-        let mut emi_cur = vec![0usize; n];
-        let mut op_cur = vec![0usize; n];
-
+    /// The serial window loop: plan → run every shard in place → merge,
+    /// touching the shard mutexes only through `get_mut` (no locking).
+    /// This path is allocation-free in steady state.
+    fn run_until_serial(&mut self, horizon: SimTime) -> Result<RunOutcome, LookaheadViolation> {
+        let lookahead = self.lookahead;
+        let coalescing = self.coalescing;
+        let shard_lookahead = &self.shard_lookahead;
+        let core = &mut self.core;
+        let sink = &mut self.sink;
+        let mut access = DirectShards(&mut self.shards);
         loop {
-            // Head record with the globally smallest (time, seq). A
-            // provisional head's parent record precedes it in the same
-            // shard (a parent emits strictly before its child is popped),
-            // so its sequence number is always already resolved.
-            let mut best: Option<(SimTime, u64, usize)> = None;
-            for (i, out) in outs.iter().enumerate() {
-                let Some(r) = out.records.get(rec_cur[i]) else {
-                    continue;
-                };
-                let seq = match r.key {
-                    Key::Resolved(s) => s,
-                    Key::Provisional(idx) => {
-                        let s = seqmaps[i][idx as usize];
-                        debug_assert_ne!(s, u64::MAX, "unresolved provisional key at merge");
-                        s
-                    }
-                };
-                if best.is_none_or(|(bt, bs, _)| (r.at, seq) < (bt, bs)) {
-                    best = Some((r.at, seq, i));
+            match plan_window(
+                core,
+                &mut access,
+                horizon,
+                lookahead,
+                shard_lookahead,
+                coalescing,
+            ) {
+                Plan::Drained => {
+                    return Ok(RunOutcome::QueueDrained {
+                        finished_at: core.now,
+                        events: core.events,
+                    })
                 }
-            }
-            let Some((at, _, i)) = best else { break };
-            let r = outs[i].records[rec_cur[i]];
-            rec_cur[i] += 1;
-            self.now = at;
-            self.events += 1;
-            self.shard_events[i] += 1;
-            self.pending -= 1;
-            for _ in 0..r.n_ops {
-                let op = outs[i].ops[op_cur[i]];
-                op_cur[i] += 1;
-                apply_op(&mut *self.sink, op);
-            }
-            for _ in 0..r.n_emissions {
-                let e = &mut outs[i].emissions[emi_cur[i]];
-                emi_cur[i] += 1;
-                let seq = self.next_seq;
-                self.next_seq += 1;
-                self.pending += 1;
-                self.peak_pending = self.peak_pending.max(self.pending);
-                match e {
-                    Emission::Local { idx } => seqmaps[i][*idx as usize] = seq,
-                    Emission::Out { dest, at, event } => {
-                        let event = event.take().expect("emission consumed twice");
-                        self.shards[*dest as usize].main.push(*at, seq, event);
+                Plan::Horizon => {
+                    return Ok(RunOutcome::HorizonReached {
+                        horizon,
+                        events: core.events,
+                    })
+                }
+                Plan::Window { end, coalesced } => {
+                    core.windows += 1;
+                    if coalesced {
+                        core.windows_coalesced += 1;
                     }
+                    for i in 0..access.len() {
+                        let shard = access.shard(i);
+                        shard.window_end = end;
+                        shard.run_window();
+                    }
+                    merge_window(core, &mut access, &mut **sink)?;
+                }
+                Plan::Serial => {
+                    run_serial_phase(core, &mut access, &mut **sink, horizon, lookahead);
                 }
             }
         }
+    }
 
-        // Side-heap remainders (all at or past the window end) move into
-        // the main queue with their now-resolved sequence numbers.
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            while let Some(Reverse(entry)) = shard.side.pop() {
-                let seq = seqmaps[i][entry.idx as usize];
-                debug_assert_ne!(seq, u64::MAX, "unresolved side event after merge");
-                shard.main.push(entry.at, seq, entry.event);
+    /// The pooled window loop: spawn the persistent workers once, then
+    /// plan and merge on this thread while the workers are parked,
+    /// dispatching each window by epoch bump.
+    fn run_until_pooled(
+        &mut self,
+        horizon: SimTime,
+        workers: usize,
+    ) -> Result<RunOutcome, LookaheadViolation> {
+        let nshards = self.shards.len();
+        let per = nshards.div_ceil(workers);
+        let n_chunks = nshards.div_ceil(per);
+        let lookahead = self.lookahead;
+        let coalescing = self.coalescing;
+        let shards = &self.shards;
+        let shard_lookahead = &self.shard_lookahead;
+        let core = &mut self.core;
+        let sink = &mut self.sink;
+        let sync = PoolSync::new();
+        std::thread::scope(|scope| {
+            for chunk in shards.chunks(per) {
+                let sync = &sync;
+                scope.spawn(move || worker_loop(sync, chunk));
             }
-            shard.emitted = 0;
-        }
+            let out = (|| loop {
+                let plan = {
+                    let mut guards: Vec<MutexGuard<'_, ShardCtx>> =
+                        shards.iter().map(lock_shard).collect();
+                    let mut access = LockedShards(&mut guards);
+                    plan_window(
+                        core,
+                        &mut access,
+                        horizon,
+                        lookahead,
+                        shard_lookahead,
+                        coalescing,
+                    )
+                };
+                match plan {
+                    Plan::Drained => {
+                        return Ok(RunOutcome::QueueDrained {
+                            finished_at: core.now,
+                            events: core.events,
+                        })
+                    }
+                    Plan::Horizon => {
+                        return Ok(RunOutcome::HorizonReached {
+                            horizon,
+                            events: core.events,
+                        })
+                    }
+                    Plan::Window { end, coalesced } => {
+                        core.windows += 1;
+                        if coalesced {
+                            core.windows_coalesced += 1;
+                        }
+                        {
+                            let mut st = sync.lock();
+                            st.window_end = end;
+                            st.done = 0;
+                            st.epoch += 1;
+                        }
+                        sync.work.notify_all();
+                        let all_in = {
+                            let mut st = sync.lock();
+                            while st.done < n_chunks && !st.failed {
+                                st = sync
+                                    .idle
+                                    .wait(st)
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            }
+                            !st.failed
+                        };
+                        if !all_in {
+                            // A worker panicked; the panic re-raises
+                            // when the scope joins below, so this value
+                            // is never observed.
+                            return Ok(RunOutcome::HorizonReached {
+                                horizon,
+                                events: core.events,
+                            });
+                        }
+                        let mut guards: Vec<MutexGuard<'_, ShardCtx>> =
+                            shards.iter().map(lock_shard).collect();
+                        let mut access = LockedShards(&mut guards);
+                        merge_window(core, &mut access, &mut **sink)?;
+                    }
+                    Plan::Serial => {
+                        // Workers stay parked; the coordinator owns every
+                        // shard for the duration of the phase.
+                        let mut guards: Vec<MutexGuard<'_, ShardCtx>> =
+                            shards.iter().map(lock_shard).collect();
+                        let mut access = LockedShards(&mut guards);
+                        run_serial_phase(core, &mut access, &mut **sink, horizon, lookahead);
+                    }
+                }
+            })();
+            {
+                let mut st = sync.lock();
+                st.shutdown = true;
+            }
+            sync.work.notify_all();
+            out
+        })
     }
 
     /// Reassemble the (sequentially-equivalent) [`NetworkSim`]: switch
@@ -1067,7 +1793,7 @@ impl PartitionedSim {
     /// the merged observation stream.
     pub fn into_world(self) -> NetworkSim {
         let PartitionedSim {
-            mut shards,
+            shards,
             ctrl_shard,
             sink,
             rest,
@@ -1078,7 +1804,10 @@ impl PartitionedSim {
         let mut switch_busy = vec![SimTime::ZERO; n];
         let mut polling = vec![false; n];
         let mut ctrl = None;
-        for shard in &mut shards {
+        for m in shards {
+            let mut shard = m
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if shard.id as usize == ctrl_shard {
                 ctrl = shard.ctrl.take();
                 continue;
@@ -1090,7 +1819,6 @@ impl PartitionedSim {
                 polling[g] = shard.polling[l];
             }
         }
-        drop(shards);
         let cs = ctrl.expect("controller shard present");
         let Rest {
             topo,
@@ -1252,20 +1980,34 @@ mod tests {
         (world, batch)
     }
 
+    /// Partition count, thread count, and coalescing setting must all be
+    /// invisible in the observables (module docs, clauses 1-4).
     #[test]
     fn pod_partitioned_parallel_matches_sequential_on_fat_tree() {
-        let (world, batch) = fig_run_sequential_baseline();
-        let seq_fp = world;
+        let (seq_fp, batch) = fig_run_sequential_baseline();
         for partitions in [1usize, 2, 4, 8] {
             for threads in [1usize, 2] {
-                let (w, b) = fat_tree_world(7);
-                assert_eq!(b, batch);
-                let part = PodPartitioner::new(w.topology(), partitions);
-                let mut par = PartitionedSim::new(w, &part, threads).unwrap();
-                par.schedule_at(SimTime::ZERO, Event::Trigger { batch: b });
-                assert!(par.run().unwrap().drained());
-                let got = fingerprint(&par.into_world());
-                assert_eq!(got, seq_fp, "partitions={partitions} threads={threads}");
+                for coalescing in [true, false] {
+                    let (w, b) = fat_tree_world(7);
+                    assert_eq!(b, batch);
+                    let part = PodPartitioner::new(w.topology(), partitions);
+                    let mut par = PartitionedSim::new(w, &part, threads)
+                        .unwrap()
+                        .with_coalescing(coalescing);
+                    par.schedule_at(SimTime::ZERO, Event::Trigger { batch: b });
+                    assert!(par.run().unwrap().drained());
+                    let windows = par.windows();
+                    let coalesced = par.windows_coalesced();
+                    assert!(coalesced <= windows);
+                    if !coalescing {
+                        assert_eq!(coalesced, 0, "coalescing off must not stretch windows");
+                    }
+                    let got = fingerprint(&par.into_world());
+                    assert_eq!(
+                        got, seq_fp,
+                        "partitions={partitions} threads={threads} coalescing={coalescing}"
+                    );
+                }
             }
         }
     }
@@ -1278,6 +2020,35 @@ mod tests {
         (fingerprint(&seq.into_world()), batch)
     }
 
+    /// Coalescing collapses windows (the whole point) without changing
+    /// the event count, and the counter actually advances.
+    #[test]
+    fn coalescing_reduces_window_count_on_fat_tree() {
+        let run = |coalescing: bool| {
+            let (w, b) = fat_tree_world(5);
+            let part = PodPartitioner::new(w.topology(), 4);
+            let mut par = PartitionedSim::new(w, &part, 1)
+                .unwrap()
+                .with_coalescing(coalescing);
+            par.schedule_at(SimTime::ZERO, Event::Trigger { batch: b });
+            assert!(par.run().unwrap().drained());
+            (
+                par.windows(),
+                par.windows_coalesced(),
+                par.events_delivered(),
+            )
+        };
+        let (w_on, c_on, e_on) = run(true);
+        let (w_off, c_off, e_off) = run(false);
+        assert_eq!(e_on, e_off);
+        assert_eq!(c_off, 0);
+        assert!(c_on > 0, "no window ever coalesced");
+        assert!(
+            w_on < w_off,
+            "coalescing did not reduce windows: {w_on} vs {w_off}"
+        );
+    }
+
     #[test]
     fn lookahead_is_derived_from_the_cut() {
         let (world, _) = fat_tree_world(1);
@@ -1286,6 +2057,7 @@ mod tests {
         // fat-tree timing: min(proc + cross-link, proc + floor, tx + floor)
         // = min(2.0 + 0.05, 2.0 + 1.0, 5.0 + 1.0) = 2.05 ms.
         assert_eq!(par.lookahead(), SimDuration::from_micros(2050));
+        assert!(par.coalescing(), "coalescing defaults on");
     }
 
     #[test]
@@ -1336,7 +2108,8 @@ mod tests {
     }
 
     /// The horizon splits a run without perturbing it (mirrors the
-    /// sequential engine's stop-and-resume contract).
+    /// sequential engine's stop-and-resume contract); exercised with the
+    /// coalescing planner, whose horizon cap must match.
     #[test]
     fn horizon_stops_and_resumes_identically() {
         let (world, batch) = fat_tree_world(3);
@@ -1345,13 +2118,21 @@ mod tests {
         assert!(seq.run().drained());
         let want = fingerprint(&seq.into_world());
 
-        let (world, batch) = fat_tree_world(3);
-        let part = PodPartitioner::new(world.topology(), 4);
-        let mut par = PartitionedSim::new(world, &part, 1).unwrap();
-        par.schedule_at(SimTime::ZERO, Event::Trigger { batch });
-        let mid = par.run_until(SimTime::ZERO + ms(40.0)).unwrap();
-        assert!(matches!(mid, RunOutcome::HorizonReached { .. }));
-        assert!(par.run().unwrap().drained());
-        assert_eq!(fingerprint(&par.into_world()), want);
+        for coalescing in [true, false] {
+            let (world, batch) = fat_tree_world(3);
+            let part = PodPartitioner::new(world.topology(), 4);
+            let mut par = PartitionedSim::new(world, &part, 1)
+                .unwrap()
+                .with_coalescing(coalescing);
+            par.schedule_at(SimTime::ZERO, Event::Trigger { batch });
+            let mid = par.run_until(SimTime::ZERO + ms(40.0)).unwrap();
+            assert!(matches!(mid, RunOutcome::HorizonReached { .. }));
+            assert!(par.run().unwrap().drained());
+            assert_eq!(
+                fingerprint(&par.into_world()),
+                want,
+                "coalescing={coalescing}"
+            );
+        }
     }
 }

@@ -14,18 +14,25 @@
 //!
 //! `--threads N` shards the (system × seed) grid over N workers;
 //! `--partitions P` routes every grid run through the windowed
-//! partitioned engine on a P-way pod cut. The `--strip-timing` output
-//! (wall-clock fields removed) is byte-identical for any N *and any P*,
-//! which `scripts/check.sh` verifies by diffing 1-vs-4-thread and
-//! 1-vs-4-partition smoke runs. `--ft32768-smoke F` runs only the
-//! 32768-switch partitioned probe with F flows and prints its entry —
-//! the quick CI-sized version of the full artifact's ft32768 section.
+//! partitioned engine on a P-way pod cut, and `--no-coalescing`
+//! disables window coalescing/serial phases in those runs. The
+//! `--strip-timing` output (wall-clock fields removed) is byte-identical
+//! for any N, any P, *and either coalescing setting*, which
+//! `scripts/check.sh` verifies by diffing 1-vs-4-thread,
+//! 1-vs-4-partition, and coalescing-on-vs-off smoke runs.
+//! `--ft32768-smoke F` runs only the 32768-switch partitioned probe with
+//! F flows and prints its entry — the quick CI-sized version of the full
+//! artifact's ft32768 section. `--overhead-smoke` runs the ft512
+//! overhead probe (sequential vs windowed at 4 partitions / 1 worker)
+//! and exits non-zero when the coalescing-on wall ratio exceeds 3x.
 //!
 //! The full run should be made from a release build on an otherwise idle
 //! machine; the committed baseline's absolute numbers are indicative, not
 //! normative — `--check` validates shape, not throughput.
 
-use p4update::perf::{ft32768_probe, run_bench, strip_timing, validate_report, Json};
+use p4update::perf::{
+    ft32768_probe, overhead_smoke, run_bench, strip_timing, validate_report, Json,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +40,9 @@ fn main() {
     let mut strip = false;
     let mut threads = 1usize;
     let mut partitions = 1usize;
+    let mut coalescing = true;
     let mut ft32768_flows: Option<usize> = None;
+    let mut overhead = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut i = 0;
@@ -41,6 +50,8 @@ fn main() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
             "--strip-timing" => strip = true,
+            "--no-coalescing" => coalescing = false,
+            "--overhead-smoke" => overhead = true,
             "--threads" => {
                 i += 1;
                 threads = args
@@ -93,6 +104,31 @@ fn main() {
         return;
     }
 
+    if overhead {
+        let section = overhead_smoke();
+        println!("{}", section.to_string_pretty());
+        let ratio = section
+            .get("points")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .find(|p| {
+                p.get("partitions").and_then(Json::as_f64) == Some(4.0)
+                    && p.get("coalescing").and_then(Json::as_bool) == Some(true)
+            })
+            .and_then(|p| p.get("wall_ratio_vs_sequential"))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| fail("overhead smoke emitted no 4-partition coalescing point"));
+        if ratio > 3.0 {
+            fail(&format!(
+                "overhead smoke: 4-partition windowed run is {ratio:.2}x the sequential \
+                 wall time (limit 3x)"
+            ));
+        }
+        println!("overhead smoke ok (wall ratio {ratio:.2}x)");
+        return;
+    }
+
     if let Some(path) = check {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
@@ -109,7 +145,7 @@ fn main() {
     if !smoke && cfg!(debug_assertions) {
         eprintln!("note: full run in a debug build; use --release for baseline numbers");
     }
-    let report = run_bench(smoke, threads, partitions);
+    let report = run_bench(smoke, threads, partitions, coalescing);
     let min_scales = if smoke { 1 } else { 4 };
     if let Err(e) = validate_report(&report, min_scales) {
         fail(&format!("generated report failed validation: {e}"));
@@ -202,13 +238,27 @@ fn print_summary(report: &p4update::perf::Json) {
             );
         }
     }
+    if let Some(ov) = report.get("overhead") {
+        let scale = ov.get("scale").and_then(Json::as_str).unwrap_or("?");
+        println!("per-window overhead ({scale}, vs sequential):");
+        for p in ov.get("points").and_then(Json::as_arr).unwrap_or(&[]) {
+            println!(
+                "  {:>2.0} partitions, coalescing {:<5}   {:>7.0} windows   {:>6.0} events/window   wall ratio {:>5.2}x",
+                p.get("partitions").and_then(Json::as_f64).unwrap_or(0.0),
+                if p.get("coalescing").and_then(Json::as_bool).unwrap_or(false) { "on" } else { "off" },
+                p.get("windows").and_then(Json::as_f64).unwrap_or(0.0),
+                p.get("events_per_window").and_then(Json::as_f64).unwrap_or(0.0),
+                p.get("wall_ratio_vs_sequential").and_then(Json::as_f64).unwrap_or(0.0),
+            );
+        }
+    }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: perf [--smoke] [--threads N] [--partitions P] [--out PATH] \
-         [--strip-timing] [--check FILE] [--ft32768-smoke FLOWS]"
+        "usage: perf [--smoke] [--threads N] [--partitions P] [--no-coalescing] [--out PATH] \
+         [--strip-timing] [--check FILE] [--ft32768-smoke FLOWS] [--overhead-smoke]"
     );
     std::process::exit(2);
 }

@@ -79,12 +79,26 @@ echo "==> partitioned engine is deterministic (1-partition vs 4-partition smoke)
 cargo run -q --release --example perf -- --smoke --partitions 4 --strip-timing --out "$tmpdir/p4.json"
 cmp "$tmpdir/t1.json" "$tmpdir/p4.json"
 
-echo "==> committed BENCH_p4update.json validates against the schema (v3)"
+echo "==> window coalescing is observably inert (coalescing-off smoke vs baseline)"
+cargo run -q --release --example perf -- --smoke --partitions 4 --no-coalescing --strip-timing --out "$tmpdir/nc.json"
+cmp "$tmpdir/t1.json" "$tmpdir/nc.json"
+
+# The per-window overhead smoke re-measures the ft512 sequential-vs-windowed
+# wall ratio live (the committed ft4096 number is ≤2x; the smoke bound is 3x
+# to absorb CI machine noise). Wall-clock dependent, so FAST-skippable.
+if [[ "${FAST:-0}" != 1 ]]; then
+    echo "==> per-window overhead smoke (ft512, windowed 4p/1t must stay under 3x sequential)"
+    cargo run -q --release --example perf -- --overhead-smoke > /dev/null
+else
+    echo "==> per-window overhead smoke skipped (FAST=1)"
+fi
+
+echo "==> committed BENCH_p4update.json validates against the schema (v4)"
 cargo run -q --release --example perf -- --check BENCH_p4update.json
 
-echo "==> schema validation rejects superseded artifacts (v1, v2)"
-for old in v1 v2; do
-    sed "s/p4update-bench-v3/p4update-bench-$old/" BENCH_p4update.json > "$tmpdir/$old.json"
+echo "==> schema validation rejects superseded artifacts (v1, v2, v3)"
+for old in v1 v2 v3; do
+    sed "s/p4update-bench-v4/p4update-bench-$old/" BENCH_p4update.json > "$tmpdir/$old.json"
     if cargo run -q --release --example perf -- --check "$tmpdir/$old.json" 2>/dev/null; then
         echo "error: the validator accepted an obsolete $old artifact" >&2
         exit 1

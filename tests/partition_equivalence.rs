@@ -33,7 +33,9 @@ use p4update::core::Strategy;
 use p4update::des::propcheck::{cases, forall};
 use p4update::des::{Scheduler, SimDuration, SimTime, Simulation, World};
 use p4update::explore::scenarios::SCENARIOS;
-use p4update::explore::{replay, replay_partitioned, run, run_partitioned, FreePolicy, Trace};
+use p4update::explore::{
+    replay, replay_partitioned, run, run_partitioned, run_windowed, FreePolicy, Trace,
+};
 use p4update::net::topologies::synthetic_fat_tree;
 use p4update::net::{k_shortest_paths, FlowId, FlowUpdate, PodPartitioner, Topology};
 use p4update::sim::{
@@ -191,6 +193,61 @@ fn level3_registry_scenarios_match_at_every_partition_count() {
 }
 
 // ---------------------------------------------------------------------------
+// Level 3b: every registry scenario through the *windowed* engine
+// (barriered shards, not the merged queue), coalescing on and off, at
+// several partition counts — observables must match the sequential
+// baseline byte-for-byte, and coalescing must actually fire somewhere.
+
+#[test]
+fn level3_registry_scenarios_match_through_the_windowed_engine() {
+    let mut coalesced_total = 0u64;
+    for info in SCENARIOS {
+        let partition_counts: &[usize] = if info.name.starts_with("ft512") {
+            &[4]
+        } else {
+            &[1, 2, 4]
+        };
+        let seed = 1;
+        let baseline = run_windowed(info.name, seed, 0, 1, true)
+            .unwrap_or_else(|e| panic!("{}@{seed} baseline: {e}", info.name));
+        assert!(baseline.events > 0, "{}: empty baseline", info.name);
+        for &p in partition_counts {
+            for coalescing in [true, false] {
+                let w = run_windowed(info.name, seed, p, 1, coalescing).unwrap_or_else(|e| {
+                    panic!(
+                        "{}@{seed} ({p} partitions, coalescing={coalescing}): {e}",
+                        info.name
+                    )
+                });
+                assert_eq!(
+                    w.observables(),
+                    baseline.observables(),
+                    "{}@{seed}: windowed observables diverged at {p} partitions, \
+                     coalescing={coalescing}",
+                    info.name
+                );
+                assert!(w.windows > 0, "{}: windowed run ran no rounds", info.name);
+                if coalescing {
+                    coalesced_total += w.windows_coalesced;
+                } else {
+                    assert_eq!(
+                        w.windows_coalesced, 0,
+                        "{}@{seed}: coalescing off must pin the fixed-window path",
+                        info.name
+                    );
+                }
+            }
+        }
+    }
+    // The point of the machinery: at least one registry scenario must
+    // actually exercise the coalesced/serial-phase path.
+    assert!(
+        coalesced_total > 0,
+        "no registry scenario ever coalesced a window"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Property: random topologies, random faults, paranoid checker — the
 // merged engine preserves every observable, violations included.
 
@@ -313,9 +370,14 @@ fn boundary_breaking_sim() -> PartitionedSim {
         1.0,
     )]);
     let part = PodPartitioner::new(&topo, 2);
+    // Coalescing off pins the barriered-window path: serial phases
+    // assign sequence numbers immediately and never consult the
+    // lookahead bound, so the boundary check under test lives only in
+    // the windowed rounds.
     let mut sim = PartitionedSim::new(world, &part, 1)
         .expect("fat-tree timing supports the windowed engine")
-        .with_lookahead(SimDuration::from_millis(100));
+        .with_lookahead(SimDuration::from_millis(100))
+        .with_coalescing(false);
     sim.schedule_at(SimTime::ZERO, Event::Trigger { batch });
     sim
 }
